@@ -1,0 +1,32 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each bench regenerates one of the paper's tables/figures, prints the
+rows, and archives them under ``benchmarks/out/`` so the numbers
+survive the pytest run.  Scales follow ``REPRO_FULL`` (see
+``repro.experiments.runner``).
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a rendered report and echo it to stdout."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.experiments.runner import default_scale
+
+    return default_scale()

@@ -1,0 +1,27 @@
+"""Extension bench: MEI word-length sweep (the paper's future work).
+
+Shape targets: error drops (or holds) as bits grow from starved (4)
+to generous (10-12); cost savings shrink monotonically with bits since
+every extra bit adds crossbar rows/columns (Eq. 7).
+"""
+
+from repro.experiments.bitlength import run_bitlength
+
+BITS = (4, 6, 8, 10)
+
+
+def test_bench_ext_bitlength(benchmark, save_report, scale):
+    result = benchmark.pedantic(
+        run_bitlength,
+        kwargs={"name": "inversek2j", "bit_lengths": BITS, "scale": scale, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("ext_bitlength", result.render())
+
+    by_bits = {p.bits: p for p in result.points}
+    # Starved interfaces hurt: 4-bit should be clearly worse than 8-bit.
+    assert by_bits[4].mse > by_bits[8].mse
+    # Savings shrink as the interface widens (Eq. 7 is linear in ports).
+    saved = [p.area_saved for p in result.points]
+    assert saved == sorted(saved, reverse=True)

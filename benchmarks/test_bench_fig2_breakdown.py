@@ -1,0 +1,15 @@
+"""Bench: Fig. 2 — power/area breakdown of a 2x8x2 RCS with AD/DA.
+
+Paper rows: AD/DA > 85% of both budgets, RRAM around one percent.
+"""
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_bench_fig2_breakdown(benchmark, save_report):
+    result = benchmark.pedantic(run_fig2, rounds=3, iterations=1)
+    save_report("fig2_breakdown", result.render())
+    assert result.area.interface_fraction > 0.85
+    assert result.power.interface_fraction > 0.85
+    assert result.area.fractions["rram"] < 0.02
+    assert result.power.fractions["rram"] < 0.02

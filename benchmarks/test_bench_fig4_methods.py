@@ -1,0 +1,27 @@
+"""Bench: Fig. 4 — accuracy of Digital / AD/DA / MEI / MEI + SAAB.
+
+Paper shape: SAAB (run at the Eq. 9 maximum ensemble size) improves
+the accuracy of every benchmark, by 5.76% on average (up to 13.05%).
+At quick scales we assert the direction (mean improvement positive,
+no benchmark materially hurt) rather than the exact magnitude.
+"""
+
+from repro.experiments.fig4 import run_fig4
+from repro.workloads.registry import BENCHMARK_NAMES
+
+
+def test_bench_fig4_methods(benchmark, save_report, scale):
+    result = benchmark.pedantic(
+        run_fig4,
+        kwargs={"names": BENCHMARK_NAMES, "scale": scale, "seed": 0, "max_k": 3},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig4_methods", result.render())
+
+    assert len(result.rows) == len(BENCHMARK_NAMES)
+    # SAAB helps on average ...
+    assert result.average_improvement > 0.0
+    # ... and never costs any benchmark more than noise-level accuracy.
+    for row in result.rows:
+        assert row.saab_improvement > -0.03, row

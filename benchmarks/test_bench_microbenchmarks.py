@@ -1,0 +1,62 @@
+"""Micro-benchmarks: raw simulator throughput (pytest-benchmark timing).
+
+These are classic performance benches (many timed rounds) for the
+kernels everything else sits on: crossbar evaluation, MEI inference,
+the MNA solve, and fixed-point encoding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.mei import MEI, MEIConfig
+from repro.device.rram import HFOX_DEVICE
+from repro.device.variation import NonIdealFactors
+from repro.nn.trainer import TrainConfig
+from repro.quant.fixedpoint import FixedPointCodec
+from repro.xbar.mapping import DifferentialCrossbar
+from repro.xbar.mna import MNACrossbar
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_bench_crossbar_apply(benchmark, rng):
+    pair = DifferentialCrossbar(rng.normal(size=(64, 32)))
+    x = rng.uniform(0, 1, (256, 64))
+    result = benchmark(pair.apply, x)
+    assert result.shape == (256, 32)
+
+
+def test_bench_crossbar_apply_noisy(benchmark, rng):
+    pair = DifferentialCrossbar(rng.normal(size=(64, 32)))
+    x = rng.uniform(0, 1, (256, 64))
+    noise = NonIdealFactors(sigma_pv=0.1, sigma_sf=0.1, seed=0)
+    result = benchmark(pair.apply, x, noise)
+    assert result.shape == (256, 32)
+
+
+def test_bench_mei_inference(benchmark, rng):
+    mei = MEI(MEIConfig(in_groups=9, out_groups=1, hidden=16), seed=0)
+    x = rng.uniform(0, 1, (64, 9))
+    y = rng.uniform(0.1, 0.9, (64, 1))
+    mei.train(x, y, TrainConfig(epochs=2, batch_size=32, shuffle_seed=0))
+    x_test = rng.uniform(0, 1, (256, 9))
+    result = benchmark(mei.predict, x_test)
+    assert result.shape == (256, 1)
+
+
+def test_bench_mna_solve(benchmark, rng):
+    g = rng.uniform(HFOX_DEVICE.g_min, HFOX_DEVICE.g_max, (32, 32))
+    mna = MNACrossbar(g, g_s=1e-3, wire_resistance=2.0)
+    v = rng.uniform(0, 1, (16, 32))
+    result = benchmark(mna.solve, v)
+    assert result.shape == (16, 32)
+
+
+def test_bench_fixedpoint_encode(benchmark, rng):
+    codec = FixedPointCodec(8)
+    values = rng.uniform(0, 1, (1000, 64))
+    result = benchmark(codec.encode, values)
+    assert result.shape == (1000, 512)

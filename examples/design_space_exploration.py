@@ -1,0 +1,67 @@
+"""Design space exploration (Algorithm 2) on a robotics workload.
+
+Converts the Inversek2j AD/DA RCS into a MEI-based architecture
+meeting an error requirement under device noise:
+
+* hidden-size search with the Eq. 8 stopping rule;
+* the Eq. 9 bound on the SAAB ensemble size;
+* the SAAB-vs-wider-hidden race (Lines 18-19);
+* LSB pruning of the interface ports (Line 22).
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import DSEConfig, NonIdealFactors, TrainConfig, explore, make_benchmark
+from repro.experiments.table1 import calibrated_params
+
+
+def main() -> None:
+    bench = make_benchmark("inversek2j")
+    data = bench.dataset(n_train=5000, n_test=800, seed=0)
+    print(f"benchmark: {bench.spec.name}, traditional topology {bench.spec.topology}")
+
+    # Inversek2j is the paper's hardest MEI benchmark (its output LSBs
+    # change sensitively with the input), so the error budget is the
+    # loosest of the suite; tighten it to ~0.2 to see the flow escalate
+    # through SAAB and end in "Mission Impossible".
+    params = calibrated_params()  # coefficients fitted to Table 1
+    config = DSEConfig(
+        error_requirement=0.30,
+        robustness_requirement=0.5,
+        noise=NonIdealFactors(sigma_pv=0.05, sigma_sf=0.05, seed=3),
+        initial_hidden=8,
+        max_hidden=64,
+        noise_trials=5,
+        area_params=params["area"],
+        power_params=params["power"],
+        prune=True,
+        seed=0,
+    )
+    train = TrainConfig(epochs=150, batch_size=128, learning_rate=0.01,
+                        shuffle_seed=0, lr_decay=0.5, lr_decay_every=50)
+
+    result = explore(
+        bench.spec.topology,
+        data.x_train, data.y_train, data.x_test, data.y_test,
+        bench.error_normalized,
+        config,
+        train,
+    )
+
+    print(f"\nstatus: {result.status}")
+    print(f"hidden-size search history: {result.hidden_history}")
+    print(f"chosen hidden size H = {result.hidden}, K_max (Eq. 9) = {result.k_max}")
+    print(f"ensemble size K = {result.k} (SAAB used: {result.used_saab})")
+    print(f"final topology: {result.topology}")
+    print(f"error = {result.error:.4f} (requirement {config.error_requirement})")
+    print(f"robustness = {result.robustness:.3f} "
+          f"(requirement {config.robustness_requirement})")
+    print(f"area saved  = {result.area_saved:.1%}")
+    print(f"power saved = {result.power_saved:.1%}")
+    print("\nexploration log:")
+    for line in result.log:
+        print("  " + line)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Pareto trade-offs: pick an operating point in the MEI design space.
+
+Sec. 4 of the paper promises "trade-offs among accuracy, area, and
+power consumption"; this example enumerates a grid of MEI design
+points (hidden size x ensemble size x word length) on the K-Means
+workload, prints the full table, and highlights the Pareto frontier a
+designer would choose from.
+
+Run:  python examples/pareto_tradeoffs.py
+"""
+
+from repro import TrainConfig, make_benchmark
+from repro.core.tradeoff import enumerate_tradeoffs
+
+
+def main() -> None:
+    bench = make_benchmark("kmeans")
+    data = bench.dataset(n_train=3000, n_test=400, seed=0)
+    print(f"benchmark: {bench.spec.name}, traditional topology {bench.spec.topology}\n")
+
+    result = enumerate_tradeoffs(
+        bench.spec.topology,
+        data.x_train, data.y_train, data.x_test, data.y_test,
+        bench.error_normalized,
+        hidden_sizes=(16, 32),
+        ensemble_sizes=(1, 2),
+        bit_lengths=(6, 8),
+        train_config=TrainConfig(epochs=150, batch_size=32, learning_rate=0.01,
+                                 shuffle_seed=0, lr_decay=0.5, lr_decay_every=75),
+        seed=0,
+    )
+
+    print(result.render())
+    print("\nPareto frontier (error ↑ as savings ↑):")
+    for point in result.pareto:
+        print(f"  {point.label:<16} error {point.error:.4f}  "
+              f"area saved {point.area_saved:6.1%}  "
+              f"power saved {point.power_saved:6.1%}")
+
+
+if __name__ == "__main__":
+    main()

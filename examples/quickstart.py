@@ -1,0 +1,63 @@
+"""Quickstart: convert an AD/DA RCS to MEI and compare cost + accuracy.
+
+Reproduces the paper's core pitch on the Sobel benchmark in a minute:
+
+1. train a traditional RCS (8-bit AD/DA interface around an analog
+   crossbar network);
+2. train the MEI equivalent (one crossbar port per interface bit, no
+   converters, Eq. 5 MSB-weighted loss);
+3. compare application error and the Eq. 6/7 area/power costs.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    MEI,
+    LITERATURE_AREA,
+    LITERATURE_POWER,
+    MEIConfig,
+    TrainConfig,
+    TraditionalRCS,
+    make_benchmark,
+    savings,
+)
+
+
+def main() -> None:
+    bench = make_benchmark("sobel")
+    print(f"benchmark: {bench.spec.name} ({bench.spec.application}), "
+          f"topology {bench.spec.topology}, metric {bench.spec.metric}")
+
+    data = bench.dataset(n_train=4000, n_test=500, seed=0)
+    config = TrainConfig(epochs=120, batch_size=128, learning_rate=0.01,
+                         shuffle_seed=0, lr_decay=0.5, lr_decay_every=40)
+
+    # 1. The baseline: analog network behind 8-bit AD/DAs.
+    rcs = TraditionalRCS(bench.spec.topology, seed=0)
+    rcs.train(data.x_train, data.y_train, config)
+    adda_error = bench.error_normalized(rcs.predict(data.x_test), data.y_test)
+    print(f"AD/DA RCS   error: {adda_error:.4f}")
+
+    # 2. MEI: merge the interface into the crossbar.
+    mei = MEI(
+        MEIConfig(
+            in_groups=bench.spec.topology.inputs,
+            out_groups=bench.spec.topology.outputs,
+            hidden=2 * bench.spec.topology.hidden,
+            bits=8,
+        ),
+        seed=0,
+    )
+    mei.train(data.x_train, data.y_train, config)
+    mei_error = bench.error_normalized(mei.predict(data.x_test), data.y_test)
+    print(f"MEI RCS     error: {mei_error:.4f}  (topology {mei.topology()})")
+
+    # 3. What did removing the converters buy?
+    for params in (LITERATURE_AREA, LITERATURE_POWER):
+        report = savings(bench.spec.topology, mei.topology(), params)
+        print(f"{params.metric:<5} saved: {report.saved_fraction:.1%} "
+              f"(traditional {report.traditional:,.0f} -> MEI {report.mei:,.0f})")
+
+
+if __name__ == "__main__":
+    main()

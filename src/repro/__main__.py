@@ -1,0 +1,91 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro fig2                  # Fig. 2 cost breakdown
+    python -m repro fig3                  # Fig. 3 hidden-size sweep
+    python -m repro table1 [--bench fft]  # Table 1 (all or one row)
+    python -m repro fig4                  # Fig. 4 method comparison
+    python -m repro fig5                  # Fig. 5 robustness sweeps
+    python -m repro bitlength             # MEI word-length extension
+    python -m repro all                   # everything, in paper order
+
+Add ``--full`` for the paper-scale budgets (10k train samples, 400
+epochs, 100 noise trials); the default quick budgets finish in
+minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.bitlength import run_bitlength
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.runner import FULL_SCALE, QUICK_SCALE
+from repro.experiments.table1 import run_benchmark_row, run_table1
+from repro.workloads.registry import BENCHMARK_NAMES
+
+
+def _table1(args, scale) -> str:
+    if args.bench:
+        row = run_benchmark_row(args.bench, scale, seed=args.seed)
+        return (
+            f"Table 1 row — {row.name}\n"
+            f"pruned MEI topology: {row.pruned_topology}\n"
+            f"err digital/adda/mei: {row.error_digital:.4f} / "
+            f"{row.error_adda:.4f} / {row.error_mei:.4f}\n"
+            f"area saved (measured): {row.area_saved_measured:.4f}\n"
+            f"power saved (measured): {row.power_saved_measured:.4f}"
+        )
+    return run_table1(scale=scale, seed=args.seed).render()
+
+
+def _report() -> str:
+    from repro.experiments.summary import collect_reports
+
+    return collect_reports()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the tables/figures of 'Merging the Interface' (DAC 2015).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["fig2", "fig3", "table1", "fig4", "fig5", "bitlength", "report", "all"],
+        help="which artifact to regenerate ('report' collates archived bench outputs)",
+    )
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale budgets instead of quick ones")
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument("--bench", choices=BENCHMARK_NAMES, default=None,
+                        help="restrict table1 to one benchmark")
+    args = parser.parse_args(argv)
+    scale = FULL_SCALE if args.full else QUICK_SCALE
+
+    runners = {
+        "fig2": lambda: run_fig2().render(),
+        "fig3": lambda: run_fig3(scale=scale, seed=args.seed).render(),
+        "table1": lambda: _table1(args, scale),
+        "fig4": lambda: run_fig4(scale=scale, seed=args.seed).render(),
+        "fig5": lambda: run_fig5(scale=scale, seed=args.seed).render(),
+        "bitlength": lambda: run_bitlength(scale=scale, seed=args.seed).render(),
+        "report": _report,
+    }
+    if args.experiment == "all":
+        names = [n for n in runners if n != "report"]
+    else:
+        names = [args.experiment]
+    for name in names:
+        print(runners[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Analog peripheral circuits: sigmoid neuron, comparator, buffers.
+
+The RCS realizes Eq. (3)'s nonlinearity with analog circuits (op-amp
+sigmoid units); MEI replaces the output ADCs with 1-bit comparators or
+flip-flop buffers (Sec. 3.1).  Both are modeled behaviourally here:
+
+* :class:`SigmoidNeuron` applies gain/offset (restoring the crossbar
+  mapping scale and the trained bias) and then the sigmoid transfer
+  curve, with optional offset error per unit;
+* :class:`Comparator` thresholds an analog level to a clean digital
+  0/1, with optional input-referred offset noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["SigmoidNeuron", "Comparator"]
+
+
+@dataclass
+class SigmoidNeuron:
+    """Analog sigmoid activation stage for one crossbar output bank.
+
+    Parameters
+    ----------
+    gain:
+        Voltage gain applied before the sigmoid; restores the
+        weight-to-coefficient mapping scale (``DifferentialCrossbar.gain``).
+    bias:
+        Per-output offset realizing the trained bias vector.
+    offset_sigma:
+        Std-dev of a random per-unit input-referred offset (op-amp
+        mismatch); drawn once at construction, i.e. static mismatch.
+    rng:
+        Generator for the mismatch draw.
+    """
+
+    gain: float
+    bias: np.ndarray
+    offset_sigma: float = 0.0
+    rng: Optional[np.random.Generator] = None
+
+    def __post_init__(self) -> None:
+        self.bias = np.atleast_1d(np.asarray(self.bias, dtype=float))
+        if self.offset_sigma < 0:
+            raise ValueError("offset_sigma must be >= 0")
+        if self.offset_sigma > 0:
+            rng = self.rng if self.rng is not None else np.random.default_rng()
+            self._offsets = rng.normal(0.0, self.offset_sigma, self.bias.shape)
+        else:
+            self._offsets = np.zeros_like(self.bias)
+
+    def apply(self, analog_in: np.ndarray) -> np.ndarray:
+        """Gain, bias, static mismatch offset, then sigmoid."""
+        analog_in = np.asarray(analog_in, dtype=float)
+        pre = self.gain * analog_in + self.bias + self._offsets
+        pre = np.clip(pre, -60.0, 60.0)
+        return 1.0 / (1.0 + np.exp(-pre))
+
+
+@dataclass
+class Comparator:
+    """1-bit output stage (comparator / flip-flop buffer) for MEI.
+
+    Parameters
+    ----------
+    threshold:
+        Decision level on the unit interval.
+    offset_sigma:
+        Std-dev of the comparator's input-referred offset, drawn per
+        conversion (dynamic noise); 0 = ideal.
+    """
+
+    threshold: float = 0.5
+    offset_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1), got {self.threshold}")
+        if self.offset_sigma < 0:
+            raise ValueError("offset_sigma must be >= 0")
+
+    def apply(self, analog_in: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Threshold analog levels into hard 0/1 bits."""
+        analog_in = np.asarray(analog_in, dtype=float)
+        threshold = self.threshold
+        if self.offset_sigma > 0:
+            if rng is None:
+                rng = np.random.default_rng()
+            threshold = threshold + rng.normal(0.0, self.offset_sigma, analog_in.shape)
+        return (analog_in >= threshold).astype(float)

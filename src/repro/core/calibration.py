@@ -1,0 +1,112 @@
+"""ICE-style inline calibration for deployed crossbar networks.
+
+The paper cites its companion work "ICE: inline calibration for
+memristor crossbar-based computing engine" (Li et al., DATE'14, Ref.
+[11]) as the standard remedy for static crossbar deviation.  This
+module implements the behavioural equivalent:
+
+1. fabricate a chip instance with *static* process variation
+   (:meth:`repro.core.deploy.AnalogMLP.freeze_variation`);
+2. drive a small calibration set through the physical chip and through
+   the ideal software network;
+3. fit a per-output-port affine correction (programmable gain/offset
+   in the output periphery) by least squares;
+4. install the correction on the chip (``output_correction``), so
+   every subsequent inference is compensated.
+
+An affine output correction cannot undo arbitrary hidden-layer
+distortion, but static variation largely manifests as per-port gain
+and offset error at the output stage, which is exactly what it fixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.deploy import AnalogMLP
+
+__all__ = ["CalibrationReport", "ice_calibrate"]
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Before/after deviation of the chip from its software reference."""
+
+    error_before: float
+    error_after: float
+    gain: np.ndarray
+    offset: np.ndarray
+
+    @property
+    def improvement(self) -> float:
+        """Fraction of the pre-calibration deviation removed."""
+        if self.error_before <= 1e-15:
+            return 0.0
+        return 1.0 - self.error_after / self.error_before
+
+
+def ice_calibrate(
+    analog: AnalogMLP,
+    reference: np.ndarray,
+    x_cal: np.ndarray,
+) -> CalibrationReport:
+    """Fit and install a per-port affine output correction.
+
+    Parameters
+    ----------
+    analog:
+        The deployed (and typically variation-frozen) chip.
+    reference:
+        The ideal outputs for ``x_cal`` — usually the software
+        network's predictions, shape ``(n, out_dim)``.
+    x_cal:
+        Calibration inputs in the chip's input domain (analog voltages
+        for an AD/DA RCS, bit arrays for MEI), shape ``(n, in_dim)``.
+
+    The correction is fit on the *uncorrected* measured outputs; any
+    previously installed correction is discarded first.
+    """
+    reference = np.asarray(reference, dtype=float)
+    x_cal = np.asarray(x_cal, dtype=float)
+    if reference.shape[0] != x_cal.shape[0]:
+        raise ValueError("x_cal and reference lengths differ")
+    if reference.shape[0] < 2:
+        raise ValueError("need at least 2 calibration samples")
+
+    analog.output_correction = None
+    measured = analog.forward(x_cal)
+    if measured.shape != reference.shape:
+        raise ValueError(
+            f"reference shape {reference.shape} does not match chip output "
+            f"shape {measured.shape}"
+        )
+
+    n_ports = measured.shape[1]
+    gain = np.ones(n_ports)
+    offset = np.zeros(n_ports)
+    for port in range(n_ports):
+        m = measured[:, port]
+        e = reference[:, port]
+        variance = np.var(m)
+        if variance < 1e-12:
+            # A stuck port: only an offset can help.
+            gain[port] = 1.0
+            offset[port] = float(np.mean(e) - np.mean(m))
+            continue
+        covariance = np.mean((m - m.mean()) * (e - e.mean()))
+        gain[port] = covariance / variance
+        offset[port] = float(e.mean() - gain[port] * m.mean())
+
+    error_before = float(np.mean(np.abs(measured - reference)))
+    corrected = np.clip(gain * measured + offset, 0.0, 1.0)
+    error_after = float(np.mean(np.abs(corrected - reference)))
+
+    analog.output_correction = (gain, offset)
+    return CalibrationReport(
+        error_before=error_before,
+        error_after=error_after,
+        gain=gain,
+        offset=offset,
+    )

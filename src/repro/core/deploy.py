@@ -1,0 +1,199 @@
+"""Deployment of a trained MLP onto RRAM crossbar hardware.
+
+:class:`AnalogMLP` is the bridge between the software substrate
+(:mod:`repro.nn`) and the circuit substrate (:mod:`repro.xbar`,
+:mod:`repro.analog`): each dense layer becomes a differential crossbar
+pair (matrix) plus a bank of sigmoid neurons (activation + bias), which
+is exactly the paper's RCS structure (Fig. 1(b), Sec. 2.1).
+
+The forward pass accepts :class:`NonIdealFactors`; process variation
+perturbs every crossbar's conductances and signal fluctuation perturbs
+every analog signal entering a crossbar, each re-drawn per Monte-Carlo
+trial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.analog.periphery import SigmoidNeuron
+from repro.device.rram import HFOX_DEVICE, RRAMDevice
+from repro.device.variation import IDEAL, NonIdealFactors
+from repro.nn.network import MLP
+from repro.xbar.mapping import DifferentialCrossbar, MappingConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.device.programming import ProgrammingConfig
+
+__all__ = ["AnalogMLP"]
+
+
+class AnalogMLP:
+    """A trained MLP realized as crossbars + analog sigmoid periphery.
+
+    Parameters
+    ----------
+    mlp:
+        Trained network; weights are copied at deployment (programming
+        a chip snapshots the weights).
+    mapping_config:
+        Crossbar mapping policy.
+    device:
+        RRAM device model.
+    digital_input:
+        True when the first layer's ports are driven by digital 0/1
+        levels (MEI).  The receiving buffers then *regenerate* a
+        fluctuated input before it reaches the crossbar — the digital
+        noise-margin effect behind the paper's observation that "as
+        MEI only requires discrete inputs of 0/1 signals, [it]
+        demonstrates much better robustness to the signal fluctuation"
+        (Sec. 5.3).  A fluctuated level still flips when the noise
+        crosses the threshold, so immunity is strong but not absolute.
+        Internal (hidden-layer) analog signals see fluctuation either
+        way.
+    """
+
+    def __init__(
+        self,
+        mlp: MLP,
+        mapping_config: Optional[MappingConfig] = None,
+        device: RRAMDevice = HFOX_DEVICE,
+        digital_input: bool = False,
+        programming: "Optional[ProgrammingConfig]" = None,
+    ):
+        self.digital_input = digital_input
+        self.layer_sizes = mlp.layer_sizes
+        self.crossbars: List[DifferentialCrossbar] = []
+        self.neurons: List[SigmoidNeuron] = []
+        self.output_correction: "Optional[tuple]" = None
+        """Optional per-port affine correction ``(gain, offset)`` set by
+        ICE-style inline calibration (:mod:`repro.core.calibration`)."""
+        tile_rows = mapping_config.max_rows_per_tile if mapping_config is not None else None
+        for index, layer in enumerate(mlp.layers):
+            if tile_rows is not None and layer.weights.shape[0] > tile_rows:
+                from repro.xbar.tiling import TiledDifferentialCrossbar
+
+                xbar = TiledDifferentialCrossbar(
+                    layer.weights, tile_rows, config=mapping_config, device=device
+                )
+            else:
+                xbar = DifferentialCrossbar(
+                    layer.weights, config=mapping_config, device=device
+                )
+            if programming is not None:
+                self._program(xbar, programming, index)
+            self.crossbars.append(xbar)
+            # The crossbar's apply() restores the mapping gain, so the
+            # neuron only contributes the trained bias and the sigmoid.
+            self.neurons.append(SigmoidNeuron(gain=1.0, bias=layer.bias.copy()))
+
+    @staticmethod
+    def _arrays_of(xbar):
+        """All single-ended arrays of a (possibly tiled) crossbar pair."""
+        tiles = getattr(xbar, "tiles", None)
+        pairs = tiles if tiles is not None else [xbar]
+        for pair in pairs:
+            yield pair.positive
+            yield pair.negative
+
+    @classmethod
+    def _program(cls, xbar, config: "ProgrammingConfig", index: int) -> None:
+        """Replace ideal conductances with write-verify programmed states.
+
+        Models the residual programming error of a real deployment
+        (distinct from drift-style process variation, which is drawn
+        per inference trial).  Each array gets its own pulse-noise
+        stream.
+        """
+        import dataclasses
+
+        from repro.device.programming import program_conductances
+
+        for offset, array in enumerate(cls._arrays_of(xbar)):
+            if config.seed is None:
+                array_config = config
+            else:
+                array_config = dataclasses.replace(
+                    config, seed=config.seed + 1000 * index + offset
+                )
+            result = program_conductances(array.conductances, array.device, array_config)
+            array.conductances = result.conductances
+
+    @property
+    def in_dim(self) -> int:
+        return self.layer_sizes[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.layer_sizes[-1]
+
+    @property
+    def device_count(self) -> int:
+        """Total RRAM cells across all layers."""
+        return sum(xbar.device_count for xbar in self.crossbars)
+
+    def forward(
+        self,
+        x: np.ndarray,
+        noise: NonIdealFactors = IDEAL,
+        trial: int = 0,
+    ) -> np.ndarray:
+        """Analog forward pass under one Monte-Carlo noise draw.
+
+        The raw output is the last sigmoid stage's analog level; the
+        architecture layer (AD/DA's ADC or MEI's comparator) digitizes
+        it.
+        """
+        out = np.atleast_2d(np.asarray(x, dtype=float))
+        if out.shape[1] != self.in_dim:
+            raise ValueError(f"input has {out.shape[1]} ports, network expects {self.in_dim}")
+        rng = noise.rng(trial) if not noise.is_ideal else None
+        # Signal fluctuation is *interface* noise (Sec. 5.3: "noise to
+        # the electrical signal, such as the input signal"): it
+        # corrupts the signals arriving at the accelerator's input
+        # ports.  On-chip inter-layer wires are short and shielded;
+        # device-level disturbance is covered by PV.
+        if rng is not None and noise.sigma_sf > 0:
+            fluctuated = noise.perturb_signal(out, rng)
+            if self.digital_input:
+                # Digital receivers regenerate 0/1 levels: only noise
+                # that crosses the logic threshold survives — MEI's
+                # Fig. 5 advantage.
+                out = (fluctuated >= 0.5).astype(float)
+            else:
+                out = fluctuated
+        pv_only = None
+        if rng is not None and noise.sigma_pv > 0:
+            pv_only = NonIdealFactors(sigma_pv=noise.sigma_pv, sigma_sf=0.0, seed=noise.seed)
+        for xbar, neuron in zip(self.crossbars, self.neurons):
+            analog = xbar.apply(out, pv_only, rng)
+            out = neuron.apply(analog)
+        if self.output_correction is not None:
+            gain, offset = self.output_correction
+            out = np.clip(gain * out + offset, 0.0, 1.0)
+        return out
+
+    def freeze_variation(
+        self, noise: NonIdealFactors, trial: int = 0
+    ) -> "AnalogMLP":
+        """Permanently apply one process-variation draw to this chip.
+
+        Models *fabrication-time* variation: the programmed states of a
+        physical array instance deviate statically from their targets
+        (as opposed to per-inference drift, which ``forward`` draws per
+        Monte-Carlo trial).  Inline calibration
+        (:mod:`repro.core.calibration`) measures and corrects exactly
+        this kind of static deviation.
+        """
+        if noise.sigma_pv <= 0:
+            return self
+        rng = noise.rng(trial)
+        for xbar in self.crossbars:
+            for array in self._arrays_of(xbar):
+                perturbed = noise.perturb_conductance(array.conductances, rng)
+                array.conductances = array.device.clip_conductance(perturbed)
+        return self

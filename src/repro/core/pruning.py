@@ -1,0 +1,105 @@
+"""LSB pruning of MEI input/output ports (Sec. 4.3, Algorithm 2 Line 22).
+
+Because MEI exposes every interface bit as an independent port, low-
+significance ports can simply be removed — unlike an AD/DA, which
+always converts full words.  The paper prunes:
+
+* **input ports** — all groups together: try dropping the last 1, 2,
+  ... bits of *every* input group simultaneously and keep the deepest
+  pruning whose test performance still meets the requirement;
+* **output ports** — after the input side is fixed: candidate LSBs
+  are those whose place value is below the network's own error floor
+  (the paper compares the LSB's weight ``2**-B`` against the RCS MSE,
+  e.g. prune once MSE reaches ``~2**-10``), validated by re-testing.
+
+Both passes operate on pruned *views* (masked ports) of one trained
+MEI, which is accuracy-equivalent to physically removing crossbar
+rows/columns and re-mapping (see :mod:`repro.core.mei`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.mei import MEI
+
+__all__ = ["PruneResult", "prune_input_bits", "prune_output_bits", "prune_lsbs"]
+
+ErrorFn = Callable[[MEI], float]
+"""Evaluates a candidate architecture; smaller is better."""
+
+
+@dataclass
+class PruneResult:
+    """Outcome of a pruning pass."""
+
+    mei: MEI
+    error: float
+    steps: int
+    """How many candidate prunings were evaluated."""
+
+
+def prune_input_bits(mei: MEI, error_fn: ErrorFn, max_error: float) -> PruneResult:
+    """Drop input-group LSBs (all groups together) within the budget.
+
+    Bits are removed one per group at a time; the first candidate that
+    violates ``max_error`` stops the search (the paper's sequential
+    "remove 1, 2, ... bits" flow).
+    """
+    best = mei
+    best_error = error_fn(mei)
+    steps = 0
+    for in_bits in range(mei.in_bits - 1, 0, -1):
+        candidate = mei.pruned(in_bits=in_bits)
+        steps += 1
+        error = error_fn(candidate)
+        if error > max_error:
+            break
+        best, best_error = candidate, error
+    return PruneResult(mei=best, error=best_error, steps=steps)
+
+
+def prune_output_bits(
+    mei: MEI,
+    error_fn: ErrorFn,
+    max_error: float,
+    mse: float,
+) -> PruneResult:
+    """Drop output LSBs whose place value is below the error floor.
+
+    Only bits with place value ``2**-b <= sqrt(mse)`` are candidates
+    (pruning them cannot change the output by more than the error the
+    network already makes); each candidate is still validated against
+    ``max_error`` before being accepted.
+    """
+    if mse < 0:
+        raise ValueError(f"mse must be >= 0, got {mse}")
+    floor = float(np.sqrt(mse))
+    best = mei
+    best_error = error_fn(mei)
+    steps = 0
+    for out_bits in range(mei.out_bits - 1, 0, -1):
+        place_value = 2.0 ** -(out_bits + 1)  # value of the bit being cut
+        if place_value > floor:
+            break
+        candidate = best.pruned(out_bits=out_bits)
+        steps += 1
+        error = error_fn(candidate)
+        if error > max_error:
+            break
+        best, best_error = candidate, error
+    return PruneResult(mei=best, error=best_error, steps=steps)
+
+
+def prune_lsbs(mei: MEI, error_fn: ErrorFn, max_error: float, mse: float) -> PruneResult:
+    """Full Line-22 pass: inputs first, then outputs (the paper's order)."""
+    after_inputs = prune_input_bits(mei, error_fn, max_error)
+    after_outputs = prune_output_bits(after_inputs.mei, error_fn, max_error, mse)
+    return PruneResult(
+        mei=after_outputs.mei,
+        error=after_outputs.error,
+        steps=after_inputs.steps + after_outputs.steps,
+    )

@@ -1,0 +1,149 @@
+"""Accuracy / area / power trade-off enumeration and Pareto analysis.
+
+Sec. 4's closing promise is "trade-offs among accuracy, area, power
+consumption and even robustness".  Algorithm 2 walks one path through
+that space; this module enumerates a whole grid of MEI design points
+(hidden size x ensemble size x word length), evaluates each, and
+extracts the Pareto-optimal frontier — the view a designer would
+actually use to pick an operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mei import MEI, MEIConfig
+from repro.core.saab import SAAB, SAABConfig
+from repro.cost.area import MEITopology, Topology
+from repro.cost.params import LITERATURE_AREA, LITERATURE_POWER, CostParams
+from repro.cost.power import savings
+from repro.nn.trainer import TrainConfig
+
+__all__ = ["DesignPoint", "TradeoffResult", "enumerate_tradeoffs", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated MEI configuration."""
+
+    hidden: int
+    k: int
+    bits: int
+    error: float
+    area_saved: float
+    power_saved: float
+
+    @property
+    def label(self) -> str:
+        return f"H={self.hidden} K={self.k} B={self.bits}"
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse everywhere, better somewhere.
+
+        Objectives: minimize error, maximize area/power savings.
+        """
+        no_worse = (
+            self.error <= other.error
+            and self.area_saved >= other.area_saved
+            and self.power_saved >= other.power_saved
+        )
+        better = (
+            self.error < other.error
+            or self.area_saved > other.area_saved
+            or self.power_saved > other.power_saved
+        )
+        return no_worse and better
+
+
+@dataclass
+class TradeoffResult:
+    """All evaluated points plus the Pareto subset."""
+
+    points: List[DesignPoint] = field(default_factory=list)
+
+    @property
+    def pareto(self) -> List[DesignPoint]:
+        return pareto_front(self.points)
+
+    def render(self) -> str:
+        from repro.experiments.runner import format_table
+
+        frontier = {id(p) for p in self.pareto}
+        rows = [
+            [p.label, p.error, p.area_saved, p.power_saved,
+             "*" if id(p) in frontier else ""]
+            for p in sorted(self.points, key=lambda p: p.error)
+        ]
+        return (
+            "Design space trade-offs (* = Pareto-optimal)\n"
+            + format_table(["point", "error", "area saved", "power saved", ""], rows)
+        )
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset, sorted by error."""
+    front = [
+        p for p in points if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: p.error)
+
+
+def enumerate_tradeoffs(
+    traditional: Topology,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    metric,
+    hidden_sizes: Sequence[int] = (8, 16, 32),
+    ensemble_sizes: Sequence[int] = (1, 2),
+    bit_lengths: Sequence[int] = (8,),
+    train_config: Optional[TrainConfig] = None,
+    area_params: CostParams = LITERATURE_AREA,
+    power_params: CostParams = LITERATURE_POWER,
+    seed: int = 0,
+) -> TradeoffResult:
+    """Train and cost every (hidden, K, bits) combination.
+
+    Ensembles reuse the boosting state per (hidden, bits) cell: the
+    K=2 point extends the K=1 point's SAAB rather than retraining.
+    """
+    result = TradeoffResult()
+    for bits in bit_lengths:
+        for hidden in hidden_sizes:
+            config = MEIConfig(
+                in_groups=traditional.inputs,
+                out_groups=traditional.outputs,
+                hidden=hidden,
+                bits=bits,
+            )
+            saab = SAAB(
+                lambda i: MEI(config, seed=seed + i),
+                SAABConfig(n_learners=max(ensemble_sizes), compare_bits=4, seed=seed),
+            )
+            for k in sorted(ensemble_sizes):
+                saab.extend(x_train, y_train, k - len(saab), train_config)
+                system = saab.learners[0] if k == 1 else saab
+                error = metric(system.predict(x_test), y_test)
+                base = saab.learners[0].topology()
+                topology = MEITopology(
+                    in_ports=base.in_ports,
+                    hidden=base.hidden * k,
+                    out_ports=base.out_ports,
+                    in_groups=base.in_groups,
+                    out_groups=base.out_groups,
+                )
+                result.points.append(
+                    DesignPoint(
+                        hidden=hidden,
+                        k=k,
+                        bits=bits,
+                        error=error,
+                        area_saved=savings(traditional, topology, area_params).saved_fraction,
+                        power_saved=savings(traditional, topology, power_params).saved_fraction,
+                    )
+                )
+    return result

@@ -1,0 +1,133 @@
+"""Cost estimation for RCS architectures (Eq. 6 and Eq. 7).
+
+Both area and power use the same structural formulas with different
+coefficient tables, so this module works on :class:`CostParams` and is
+shared by :mod:`repro.cost.power` (thin aliases for readability).
+
+Topology conventions
+--------------------
+* A traditional RCS is ``I x H x O`` with B-bit AD/DA on every analog
+  input and output (Eq. 6):
+
+      C_org = I*C_DA + O*C_AD + H*C_P + 2*(I+O)*H*C_R
+
+* A MEI RCS exposes ``P_in`` input ports and ``P_out`` output ports
+  (each analog value contributes up to B ports; pruning may remove
+  LSB ports).  Eq. 7 with the bit factor folded into the port counts:
+
+      C_MEI = H'*C_P + 2*(P_in+P_out)*H'*C_R
+
+  The paper's Eq. 7 writes ``B * 2(I'+O')H'`` with ``I', O'`` the
+  analog dimensions; for an unpruned MEI, ``P_in = B*I'`` and
+  ``P_out = B*O'`` make the two forms identical, and the port-count
+  form is the one the pruning pass needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.params import CostParams
+
+__all__ = ["Topology", "MEITopology", "cost_traditional", "cost_mei"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A traditional ``I x H x O`` RCS with B-bit AD/DA interfaces."""
+
+    inputs: int
+    hidden: int
+    outputs: int
+    bits: int = 8
+
+    def __post_init__(self) -> None:
+        if min(self.inputs, self.hidden, self.outputs) < 1:
+            raise ValueError(f"topology dims must be >= 1: {self}")
+        if not 1 <= self.bits <= 32:
+            raise ValueError(f"bits must be in [1, 32], got {self.bits}")
+
+    @property
+    def rram_devices(self) -> int:
+        """RRAM cell count ``2 (I+O) H`` (differential pairs, Eq. 6)."""
+        return 2 * (self.inputs + self.outputs) * self.hidden
+
+    def __str__(self) -> str:
+        return f"{self.inputs}x{self.hidden}x{self.outputs}"
+
+
+@dataclass(frozen=True)
+class MEITopology:
+    """A MEI RCS described by exposed port counts.
+
+    Parameters
+    ----------
+    in_ports, out_ports:
+        Exposed binary ports after any pruning.
+    hidden:
+        Hidden layer size ``H'``.
+    in_groups, out_groups:
+        Number of analog values each side encodes (for the Table 1
+        ``(D . B)`` notation).
+    """
+
+    in_ports: int
+    hidden: int
+    out_ports: int
+    in_groups: int = 1
+    out_groups: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.in_ports, self.hidden, self.out_ports) < 1:
+            raise ValueError(f"topology dims must be >= 1: {self}")
+        if self.in_groups < 1 or self.out_groups < 1:
+            raise ValueError("group counts must be >= 1")
+        if self.in_ports % self.in_groups or self.out_ports % self.out_groups:
+            raise ValueError("port counts must divide evenly into groups")
+
+    @classmethod
+    def from_analog(cls, topology: Topology) -> "MEITopology":
+        """Unpruned MEI equivalent of a traditional topology."""
+        return cls(
+            in_ports=topology.inputs * topology.bits,
+            hidden=topology.hidden,
+            out_ports=topology.outputs * topology.bits,
+            in_groups=topology.inputs,
+            out_groups=topology.outputs,
+        )
+
+    @property
+    def in_bits(self) -> int:
+        """Bits kept per input group."""
+        return self.in_ports // self.in_groups
+
+    @property
+    def out_bits(self) -> int:
+        """Bits kept per output group."""
+        return self.out_ports // self.out_groups
+
+    @property
+    def rram_devices(self) -> int:
+        """RRAM cell count ``2 (P_in + P_out) H'`` (Eq. 7)."""
+        return 2 * (self.in_ports + self.out_ports) * self.hidden
+
+    def __str__(self) -> str:
+        return (
+            f"({self.in_groups}.{self.in_bits})x{self.hidden}"
+            f"x({self.out_groups}.{self.out_bits})"
+        )
+
+
+def cost_traditional(topology: Topology, params: CostParams) -> float:
+    """Eq. 6: cost of an ``I x H x O`` RCS with AD/DA interfaces."""
+    return (
+        topology.inputs * params.dac
+        + topology.outputs * params.adc
+        + topology.hidden * params.periphery
+        + topology.rram_devices * params.rram
+    )
+
+
+def cost_mei(topology: MEITopology, params: CostParams) -> float:
+    """Eq. 7: cost of a MEI RCS (no AD/DA; ports are crossbar rows)."""
+    return topology.hidden * params.periphery + topology.rram_devices * params.rram

@@ -1,0 +1,77 @@
+"""Component-level cost breakdowns (Fig. 2 of the paper).
+
+Fig. 2 shows the normalized power and area of a 2x8x2 RCS with 8-bit
+AD/DA split into DAC / ADC / analog periphery / RRAM, demonstrating
+that the converters take >85% of both budgets while RRAM devices are
+around one percent.  :func:`breakdown` regenerates that decomposition
+for any topology and coefficient table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.cost.area import MEITopology, Topology
+from repro.cost.params import CostParams
+
+__all__ = ["Breakdown", "breakdown", "breakdown_mei"]
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Per-component absolute and normalized costs for one metric."""
+
+    metric: str
+    components: Dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    @property
+    def fractions(self) -> Dict[str, float]:
+        """Components normalized to the system total."""
+        total = self.total
+        return {name: value / total for name, value in self.components.items()}
+
+    @property
+    def interface_fraction(self) -> float:
+        """Share of the AD/DA interface (the paper's headline >85%).
+
+        Zero for a MEI breakdown — there are no converters to count.
+        """
+        f = self.fractions
+        return f.get("dac", 0.0) + f.get("adc", 0.0)
+
+    def rows(self):
+        """(name, absolute, fraction) rows for table printing."""
+        fractions = self.fractions
+        return [
+            (name, self.components[name], fractions[name])
+            for name in self.components
+        ]
+
+
+def breakdown(topology: Topology, params: CostParams) -> Breakdown:
+    """Decompose Eq. 6 into its four components."""
+    return Breakdown(
+        metric=params.metric,
+        components={
+            "dac": topology.inputs * params.dac,
+            "adc": topology.outputs * params.adc,
+            "periphery": topology.hidden * params.periphery,
+            "rram": topology.rram_devices * params.rram,
+        },
+    )
+
+
+def breakdown_mei(topology: MEITopology, params: CostParams) -> Breakdown:
+    """Decompose Eq. 7 (MEI has only periphery and RRAM components)."""
+    return Breakdown(
+        metric=params.metric,
+        components={
+            "periphery": topology.hidden * params.periphery,
+            "rram": topology.rram_devices * params.rram,
+        },
+    )

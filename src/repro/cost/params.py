@@ -1,0 +1,75 @@
+"""Area and power parameter tables for the RCS cost model.
+
+The paper estimates area/power from four per-cell coefficients
+(Sec. 4.1): a DAC cell, an ADC cell, an analog peripheral unit (the
+op-amp sigmoid neuron + column sense circuit), and an RRAM device.
+The sources are Refs. [7, 12, 13, 14] — an ISCA'14 analog NPU, a 3D
+RRAM array study, a 20nm DAC and an 8-bit flash ADC.
+
+Since the paper never tabulates the raw coefficients, we provide:
+
+* ``LITERATURE_AREA`` / ``LITERATURE_POWER`` — defaults assembled from
+  the cited device classes, tuned to reproduce the *shape* of Fig. 2
+  (AD/DA > 85% of a 2x8x2 system, RRAM around one percent);
+* :mod:`repro.cost.calibration` — a non-negative least-squares fit of
+  the same four coefficients against the paper's six reported
+  area/power savings (Table 1), which reproduces the published
+  trade-off numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostParams", "LITERATURE_AREA", "LITERATURE_POWER"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Per-cell cost coefficients for one metric (area or power).
+
+    Units are arbitrary but consistent (we use um^2 for area, uW for
+    power in the literature defaults); only ratios enter Eq. 9.
+
+    Parameters
+    ----------
+    dac:
+        One B-bit DAC channel (``A_DA`` / ``P_DA``).
+    adc:
+        One B-bit ADC channel (``A_AD`` / ``P_AD``).
+    periphery:
+        One analog peripheral unit per hidden node (``A_P`` / ``P_P``).
+    rram:
+        One RRAM cross-point device (``A_R`` / ``P_R``).
+    metric:
+        Human-readable label ('area' or 'power').
+    """
+
+    dac: float
+    adc: float
+    periphery: float
+    rram: float
+    metric: str = "area"
+
+    def __post_init__(self) -> None:
+        for name in ("dac", "adc", "periphery", "rram"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} coefficient must be >= 0")
+        if self.rram == 0:
+            raise ValueError("rram coefficient must be positive (it sets the scale)")
+
+
+LITERATURE_AREA = CostParams(dac=800.0, adc=2500.0, periphery=60.0, rram=0.5, metric="area")
+"""Default area coefficients in um^2.
+
+DAC ~0.0008 mm^2 (20nm current-steering DAC scaled to 90nm [13]),
+flash ADC ~0.0025 mm^2 [14], op-amp sigmoid unit ~60 um^2 [7], RRAM
+cross-point ~0.5 um^2 including wire pitch share [12].
+"""
+
+LITERATURE_POWER = CostParams(dac=2000.0, adc=3000.0, periphery=200.0, rram=0.5, metric="power")
+"""Default power coefficients in uW.
+
+DAC ~2 mW, flash ADC ~3 mW at converter rates [13, 14], peripheral
+op-amp ~0.2 mW [7], RRAM device ~0.5 uW average compute power [12].
+"""

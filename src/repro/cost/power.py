@@ -1,0 +1,72 @@
+"""Power estimation and saving/ratio helpers.
+
+Sec. 4.1: "Eq. (6) & (7) can also be used to evaluate the power
+consumption by replacing the area parameters with parameters for power
+estimation" — so the structural code lives in :mod:`repro.cost.area`
+and this module adds the comparison helpers used by Table 1 and Eq. 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.area import MEITopology, Topology, cost_mei, cost_traditional
+from repro.cost.params import CostParams
+
+__all__ = ["SavingsReport", "savings", "cost_ratio", "max_saab_learners"]
+
+
+@dataclass(frozen=True)
+class SavingsReport:
+    """Cost comparison between a traditional RCS and its MEI version."""
+
+    metric: str
+    traditional: float
+    mei: float
+
+    @property
+    def saved_fraction(self) -> float:
+        """Fraction of the traditional cost eliminated by MEI."""
+        return 1.0 - self.mei / self.traditional
+
+    @property
+    def ratio(self) -> float:
+        """``C_org / C_MEI`` — one of the two terms in Eq. 9."""
+        return self.traditional / self.mei
+
+
+def savings(
+    traditional: Topology,
+    mei: MEITopology,
+    params: CostParams,
+) -> SavingsReport:
+    """Compare Eq. 6 vs Eq. 7 under one coefficient table."""
+    return SavingsReport(
+        metric=params.metric,
+        traditional=cost_traditional(traditional, params),
+        mei=cost_mei(mei, params),
+    )
+
+
+def cost_ratio(traditional: Topology, mei: MEITopology, params: CostParams) -> float:
+    """``C_org / C_MEI`` for one metric."""
+    return savings(traditional, mei, params).ratio
+
+
+def max_saab_learners(
+    traditional: Topology,
+    mei: MEITopology,
+    area_params: CostParams,
+    power_params: CostParams,
+) -> int:
+    """Eq. 9: maximum SAAB ensemble size within the original budget.
+
+    ``K_max = min(A_org / A_MEI, P_org / P_MEI)`` floored to an
+    integer; at least 1 (a single MEI RCS always fits when MEI saves
+    cost, and the DSE flow needs a sane lower bound otherwise).
+    """
+    k = min(
+        cost_ratio(traditional, mei, area_params),
+        cost_ratio(traditional, mei, power_params),
+    )
+    return max(1, int(k))

@@ -1,0 +1,118 @@
+"""Latency model for RCS inference: conversion vs. direct bit drive.
+
+The paper's Fig. 2 motivation is area/power, but the same converter
+bottleneck costs *time*: a traditional RCS serializes B-bit DA and AD
+conversions (often sharing converters across ports), while MEI drives
+all bit ports in parallel and reads comparators in one decision.  This
+module estimates per-inference latency for both architectures from
+device-class numbers in the paper's references ([13] 960 MS/s DAC,
+[14] 1.5 GS/s flash ADC) and the crossbar's RC settling.
+
+This is an *extension* — the paper does not report latency — kept in
+the cost package because it reuses the same topology descriptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.area import MEITopology, Topology
+
+__all__ = ["TimingParams", "latency_traditional", "latency_mei", "speedup", "energy_per_inference"]
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    """Per-stage latencies in nanoseconds.
+
+    Parameters
+    ----------
+    t_dac:
+        One DAC conversion (~1 ns at 960 MS/s [13]).
+    t_adc:
+        One ADC conversion (~0.67 ns at 1.5 GS/s flash [14]).
+    t_settle:
+        Crossbar + sigmoid periphery settling per layer.
+    t_comparator:
+        1-bit comparator decision (MEI's output stage).
+    dacs_per_port, adcs_per_port:
+        Converter sharing: 1.0 = a private converter per port (fully
+        parallel), 1/N = one converter time-multiplexed over N ports
+        (conversions serialize).
+    """
+
+    t_dac: float = 1.0
+    t_adc: float = 0.7
+    t_settle: float = 5.0
+    t_comparator: float = 0.2
+    dacs_per_port: float = 1.0
+    adcs_per_port: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("t_dac", "t_adc", "t_settle", "t_comparator"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        if not 0 < self.dacs_per_port <= 1 or not 0 < self.adcs_per_port <= 1:
+            raise ValueError("converter sharing ratios must be in (0, 1]")
+
+
+def latency_traditional(
+    topology: Topology, params: TimingParams, layers: int = 2
+) -> float:
+    """Per-inference latency of an ``I x H x O`` RCS with AD/DA.
+
+    Input conversions across ``I`` ports (serialized by sharing), the
+    analog layers settling, then output conversions across ``O`` ports.
+    """
+    if layers < 1:
+        raise ValueError("layers must be >= 1")
+    # With r converters per port the design instantiates
+    # max(1, round(r * ports)) converters; each runs its share of the
+    # conversions back to back.  Private converters (r = 1) convert
+    # every port in parallel.
+    da_time = params.t_dac * _serial_conversions(topology.inputs, params.dacs_per_port)
+    ad_time = params.t_adc * _serial_conversions(topology.outputs, params.adcs_per_port)
+    return da_time + layers * params.t_settle + ad_time
+
+
+def _serial_conversions(ports: int, converters_per_port: float) -> int:
+    """Back-to-back conversions each converter performs for one vector."""
+    import math
+
+    converters = max(1, round(converters_per_port * ports))
+    return math.ceil(ports / converters)
+
+
+def latency_mei(topology: MEITopology, params: TimingParams, layers: int = 2) -> float:
+    """Per-inference latency of a MEI RCS.
+
+    All bit ports are driven in parallel (digital levels need no
+    conversion), the layers settle, and all comparators decide at once.
+    """
+    if layers < 1:
+        raise ValueError("layers must be >= 1")
+    del topology  # fully parallel: latency is port-count independent
+    return layers * params.t_settle + params.t_comparator
+
+
+def speedup(
+    traditional: Topology,
+    mei: MEITopology,
+    params: TimingParams,
+    layers: int = 2,
+) -> float:
+    """Latency ratio ``t_org / t_MEI`` (>1 means MEI is faster)."""
+    return latency_traditional(traditional, params, layers) / latency_mei(
+        mei, params, layers
+    )
+
+
+def energy_per_inference(power_uw: float, latency_ns: float) -> float:
+    """Energy of one inference in femtojoules (power x latency).
+
+    Combine a cost-model power (Eq. 6/7 with power coefficients in uW)
+    with a latency from this module: ``1 uW * 1 ns = 1 fJ``.
+    """
+    if power_uw < 0 or latency_ns < 0:
+        raise ValueError("power and latency must be non-negative")
+    return power_uw * latency_ns

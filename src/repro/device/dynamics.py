@@ -1,0 +1,141 @@
+"""Filament switching dynamics: pulse-level RRAM programming.
+
+The paper's device reference (Yu et al. [9]) is a physical HfOx
+switching model; the system-level work abstracts it into "the
+resistance can be changed to arbitrary state".  This module fills the
+gap between those levels with a compact behavioural dynamics model so
+programming studies can operate on *pulses* instead of the idealized
+write-verify of :mod:`repro.device.programming`:
+
+    dw/dt = k * sinh(v / v0) * window(w, v)
+
+where ``w`` in [0, 1] is the normalized filament state (conductance
+interpolates the device window linearly in ``w``), the sinh gives the
+exponential voltage sensitivity real cells show, and the Joglekar-style
+window function freezes growth at the boundaries.  Positive voltage
+SETs (grows w), negative voltage RESETs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.device.rram import HFOX_DEVICE, RRAMDevice
+
+__all__ = ["SwitchingModel", "PulseTrain"]
+
+
+@dataclass(frozen=True)
+class SwitchingModel:
+    """Compact filament dynamics for one device type.
+
+    Parameters
+    ----------
+    device:
+        Conductance window the state interpolates.
+    rate:
+        Base switching rate ``k`` (1/s at ``v = v0``-ish drive).
+    v0:
+        Voltage scale of the sinh sensitivity.
+    window_power:
+        Joglekar window exponent ``p``; larger = sharper freeze at the
+        boundaries.
+    threshold:
+        Voltages with ``|v| < threshold`` do not move the filament
+        (read disturb immunity below the switching threshold).
+    """
+
+    device: RRAMDevice = HFOX_DEVICE
+    rate: float = 1e5
+    v0: float = 0.25
+    window_power: int = 2
+    threshold: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0 or self.v0 <= 0:
+            raise ValueError("rate and v0 must be positive")
+        if self.window_power < 1:
+            raise ValueError("window_power must be >= 1")
+        if self.threshold < 0:
+            raise ValueError("threshold must be >= 0")
+
+    # -- state <-> conductance -----------------------------------------
+
+    def conductance(self, state: np.ndarray) -> np.ndarray:
+        """Filament state in [0, 1] -> conductance in the device window."""
+        state = np.clip(np.asarray(state, dtype=float), 0.0, 1.0)
+        return self.device.g_min + state * (self.device.g_max - self.device.g_min)
+
+    def state_of(self, conductance: np.ndarray) -> np.ndarray:
+        """Conductance -> filament state (inverse of :meth:`conductance`)."""
+        g = self.device.clip_conductance(conductance)
+        return (g - self.device.g_min) / (self.device.g_max - self.device.g_min)
+
+    # -- dynamics -------------------------------------------------------
+
+    def _window(self, state: np.ndarray, velocity: np.ndarray) -> np.ndarray:
+        """Joglekar window: growth freezes at the approached boundary."""
+        toward_one = velocity > 0
+        distance = np.where(toward_one, 1.0 - state, state)
+        return 1.0 - (1.0 - np.clip(distance, 0.0, 1.0)) ** self.window_power
+
+    def step(self, state: np.ndarray, voltage: np.ndarray, dt: float) -> np.ndarray:
+        """Advance the filament by one explicit-Euler step of ``dt``."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        state = np.clip(np.asarray(state, dtype=float), 0.0, 1.0)
+        voltage = np.asarray(voltage, dtype=float)
+        active = np.abs(voltage) >= self.threshold
+        velocity = self.rate * np.sinh(voltage / self.v0) * active
+        delta = velocity * self._window(state, velocity) * dt
+        return np.clip(state + delta, 0.0, 1.0)
+
+    def apply_pulse(
+        self,
+        state: np.ndarray,
+        voltage: float,
+        width: float,
+        substeps: int = 8,
+    ) -> np.ndarray:
+        """Apply one rectangular pulse (integrated in substeps)."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if substeps < 1:
+            raise ValueError(f"substeps must be >= 1, got {substeps}")
+        dt = width / substeps
+        for _ in range(substeps):
+            state = self.step(state, voltage, dt)
+        return state
+
+
+@dataclass(frozen=True)
+class PulseTrain:
+    """A programming recipe: repeated identical pulses.
+
+    Parameters
+    ----------
+    voltage:
+        Pulse amplitude (positive = SET, negative = RESET).
+    width:
+        Pulse width in seconds.
+    count:
+        Number of pulses.
+    """
+
+    voltage: float
+    width: float = 50e-9
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    def apply(self, model: SwitchingModel, state: np.ndarray) -> np.ndarray:
+        """Run the train on a state array; returns the final state."""
+        for _ in range(self.count):
+            state = model.apply_pulse(state, self.voltage, self.width)
+        return state

@@ -1,0 +1,94 @@
+"""Stuck-at-fault (SAF) injection for RRAM crossbars.
+
+Beyond the paper's two statistical non-ideal factors (process
+variation and signal fluctuation), fabricated RRAM arrays exhibit hard
+defects: cells stuck at the low-resistance state (stuck-on, SA1) or
+the high-resistance state (stuck-off, SA0).  Published defect maps
+put combined SAF rates around 1-10%.  This module injects such faults
+into deployed crossbars so the test suite and robustness studies can
+exercise the failure mode the paper's redundancy/ensemble discussion
+implicitly targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.xbar.crossbar import Crossbar
+
+__all__ = ["FaultModel", "inject_faults", "inject_faults_analog"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Stuck-at fault rates.
+
+    Parameters
+    ----------
+    stuck_on_rate:
+        Probability a cell is stuck at ``g_max`` (SA1).
+    stuck_off_rate:
+        Probability a cell is stuck at ``g_min`` (SA0).
+    seed:
+        RNG seed for the defect map.
+    """
+
+    stuck_on_rate: float = 0.0
+    stuck_off_rate: float = 0.0
+    seed: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.stuck_on_rate <= 1 or not 0 <= self.stuck_off_rate <= 1:
+            raise ValueError("fault rates must be in [0, 1]")
+        if self.stuck_on_rate + self.stuck_off_rate > 1:
+            raise ValueError("combined fault rate cannot exceed 1")
+
+    @property
+    def total_rate(self) -> float:
+        return self.stuck_on_rate + self.stuck_off_rate
+
+    def defect_map(self, shape, rng: np.random.Generator) -> np.ndarray:
+        """Defect classes per cell: 0 = healthy, 1 = SA1, 2 = SA0."""
+        draw = rng.random(shape)
+        defects = np.zeros(shape, dtype=int)
+        defects[draw < self.stuck_on_rate] = 1
+        defects[(draw >= self.stuck_on_rate) & (draw < self.total_rate)] = 2
+        return defects
+
+
+def inject_faults(xbar: Crossbar, model: FaultModel) -> np.ndarray:
+    """Inject stuck-at faults into one crossbar array, in place.
+
+    Returns the defect map so callers can report fault statistics.
+    """
+    rng = np.random.default_rng(model.seed)
+    defects = model.defect_map(xbar.conductances.shape, rng)
+    g = xbar.conductances.copy()
+    g[defects == 1] = xbar.device.g_max
+    g[defects == 2] = xbar.device.g_min
+    xbar.conductances = g
+    return defects
+
+
+def inject_faults_analog(analog, model: FaultModel) -> int:
+    """Inject faults into every array of a deployed :class:`AnalogMLP`.
+
+    Each array gets an independent defect map (seeded deterministically
+    from ``model.seed``).  Returns the total number of faulty cells.
+    """
+    import dataclasses
+
+    total = 0
+    index = 0
+    for xbar in analog.crossbars:
+        for array in type(analog)._arrays_of(xbar):
+            if model.seed is None:
+                array_model = model
+            else:
+                array_model = dataclasses.replace(model, seed=model.seed + index)
+            defects = inject_faults(array, array_model)
+            total += int(np.count_nonzero(defects))
+            index += 1
+    return total

@@ -1,0 +1,102 @@
+"""Non-ideal factor models: process variation and signal fluctuation.
+
+Sec. 5.3 of the paper studies two non-ideal factors, both generated
+from lognormal distributions:
+
+* **Process variation (PV)** — the programmed RRAM conductance deviates
+  from its target state.  Modeled multiplicatively:
+  ``g' = g * exp(N(0, sigma_pv))``.
+* **Signal fluctuation (SF)** — electrical noise on the (input)
+  signals: ``v' = v * exp(N(0, sigma_sf))``.
+
+Because MEI drives the crossbar with discrete 0/1 levels, a fluctuated
+"0" stays exactly 0 (multiplicative noise cannot create signal out of
+nothing) and a fluctuated "1" is re-thresholded by the receiver's noise
+margin only at the *output* comparator — this is precisely why the
+paper finds MEI far more robust to SF than the analog AD/DA interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NonIdealFactors", "lognormal_factors", "IDEAL"]
+
+
+def lognormal_factors(
+    shape: "tuple | int",
+    sigma: float,
+    rng: "np.random.Generator | int | None" = None,
+) -> np.ndarray:
+    """Multiplicative lognormal factors with median 1.
+
+    ``sigma`` is the standard deviation of the underlying normal; the
+    paper sweeps it to generate "variations of different levels".
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    if sigma == 0:
+        return np.ones(shape)
+    return rng.lognormal(mean=0.0, sigma=sigma, size=shape)
+
+
+@dataclass(frozen=True)
+class NonIdealFactors:
+    """The non-ideal factor vector (sigma) passed around Algorithms 1-2.
+
+    Parameters
+    ----------
+    sigma_pv:
+        Lognormal sigma for process variation on conductances.
+    sigma_sf:
+        Lognormal sigma for signal fluctuation on analog inputs.
+    seed:
+        Base seed so Monte-Carlo trials are reproducible.
+    """
+
+    sigma_pv: float = 0.0
+    sigma_sf: float = 0.0
+    seed: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.sigma_pv < 0 or self.sigma_sf < 0:
+            raise ValueError("sigmas must be non-negative")
+
+    @property
+    def is_ideal(self) -> bool:
+        """True when no noise would be injected at all."""
+        return self.sigma_pv == 0 and self.sigma_sf == 0
+
+    def rng(self, trial: int = 0) -> np.random.Generator:
+        """Generator for one Monte-Carlo trial."""
+        if self.seed is None:
+            return np.random.default_rng()
+        return np.random.default_rng(self.seed + trial)
+
+    def perturb_conductance(
+        self, g: np.ndarray, rng: "np.random.Generator | None" = None
+    ) -> np.ndarray:
+        """Apply process variation to a conductance array."""
+        if self.sigma_pv == 0:
+            return np.asarray(g, dtype=float)
+        rng = rng if rng is not None else self.rng()
+        return np.asarray(g, dtype=float) * lognormal_factors(np.shape(g), self.sigma_pv, rng)
+
+    def perturb_signal(self, v: np.ndarray, rng: "np.random.Generator | None" = None) -> np.ndarray:
+        """Apply signal fluctuation to an analog signal array."""
+        if self.sigma_sf == 0:
+            return np.asarray(v, dtype=float)
+        rng = rng if rng is not None else self.rng()
+        return np.asarray(v, dtype=float) * lognormal_factors(np.shape(v), self.sigma_sf, rng)
+
+    def with_seed(self, seed: "int | None") -> "NonIdealFactors":
+        """Copy with a different base seed."""
+        return NonIdealFactors(self.sigma_pv, self.sigma_sf, seed)
+
+
+IDEAL = NonIdealFactors()
+"""No process variation, no signal fluctuation."""

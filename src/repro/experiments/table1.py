@@ -1,0 +1,246 @@
+"""Table 1: the six-benchmark comparison of Digital / AD/DA / MEI.
+
+For each benchmark the harness trains three systems on the same data:
+
+* **Digital ANN** — the ideal 32-bit floating-point network;
+* **AD/DA RCS** — the traditional architecture (8-bit converters
+  around the analog crossbar network);
+* **MEI RCS** — the merged-interface architecture, trained with the
+  Eq. (5) loss and LSB-pruned per Algorithm 2 Line 22;
+
+and reports the normalized-output MSE, the application error metric,
+the pruned MEI topology, and the area/power saved.
+
+Costs are reported twice: with the NNLS-calibrated coefficients on the
+*paper's* pruned topologies (reproducing Table 1's numbers by
+construction) and with the same coefficients on *our measured* pruned
+topologies (the substrate-dependent result).
+
+Topology note: the MEI hidden sizes are the paper's own (Table 1's
+pruned MEI column), so the measured cost savings are directly
+comparable with the published ones.  Our first-order Adam trainer
+slightly underfits MEI at these widths relative to the authors'
+trainer; the tradeoff bench quantifies the wider-hidden alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.mei import MEI, MEIConfig
+from repro.core.pruning import prune_lsbs
+from repro.core.rcs import TraditionalRCS
+from repro.cost.area import MEITopology, Topology
+from repro.cost.calibration import fit_cost_params
+from repro.cost.params import CostParams
+from repro.cost.power import savings
+from repro.experiments.runner import (
+    ExperimentScale,
+    default_scale,
+    format_table,
+    train_config,
+    train_samples_for,
+)
+from repro.nn.losses import mse
+from repro.nn.network import MLP
+from repro.nn.trainer import Trainer
+from repro.quant.fixedpoint import FixedPointCodec
+from repro.workloads.base import Benchmark
+from repro.workloads.registry import BENCHMARK_NAMES, PAPER_TABLE1, make_benchmark
+
+__all__ = ["Table1Row", "Table1Result", "calibrated_params", "run_benchmark_row", "run_table1"]
+
+
+def calibrated_params() -> Dict[str, CostParams]:
+    """Cost coefficients fitted to the paper's reported savings."""
+    pairs = [
+        (make_benchmark(name).spec.topology, PAPER_TABLE1[name].pruned_mei)
+        for name in BENCHMARK_NAMES
+    ]
+    area = fit_cost_params(
+        pairs, [PAPER_TABLE1[n].area_saved for n in BENCHMARK_NAMES], metric="area"
+    )
+    power = fit_cost_params(
+        pairs, [PAPER_TABLE1[n].power_saved for n in BENCHMARK_NAMES], metric="power"
+    )
+    return {"area": area, "power": power}
+
+
+@dataclass
+class Table1Row:
+    """One benchmark's measured results next to the paper's."""
+
+    name: str
+    topology: Topology
+    pruned_topology: MEITopology
+    mse_digital: float
+    mse_adda: float
+    mse_mei: float
+    error_digital: float
+    error_adda: float
+    error_mei: float
+    area_saved_paper_topology: float
+    power_saved_paper_topology: float
+    area_saved_measured: float
+    power_saved_measured: float
+
+    @property
+    def paper(self):
+        return PAPER_TABLE1[self.name]
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def table_rows(self) -> List[List[object]]:
+        out: List[List[object]] = []
+        for r in self.rows:
+            out.append(
+                [
+                    r.name,
+                    str(r.topology),
+                    str(r.pruned_topology),
+                    r.mse_digital,
+                    r.mse_adda,
+                    r.mse_mei,
+                    r.error_digital,
+                    r.error_adda,
+                    r.error_mei,
+                    r.area_saved_measured,
+                    r.power_saved_measured,
+                ]
+            )
+        return out
+
+    def render(self) -> str:
+        header = "Table 1 — benchmark results (measured)\n"
+        body = format_table(
+            [
+                "name",
+                "topology",
+                "pruned MEI",
+                "MSE dig",
+                "MSE AD/DA",
+                "MSE MEI",
+                "err dig",
+                "err AD/DA",
+                "err MEI",
+                "area saved",
+                "power saved",
+            ],
+            self.table_rows(),
+        )
+        paper_rows = [
+            [
+                r.name,
+                r.paper.error_digital,
+                r.paper.error_adda,
+                r.paper.error_mei,
+                r.paper.area_saved,
+                r.area_saved_paper_topology,
+                r.paper.power_saved,
+                r.power_saved_paper_topology,
+            ]
+            for r in self.rows
+        ]
+        paper_table = format_table(
+            [
+                "name",
+                "paper err dig",
+                "paper err AD/DA",
+                "paper err MEI",
+                "paper area",
+                "calib area",
+                "paper power",
+                "calib power",
+            ],
+            paper_rows,
+        )
+        return header + body + "\n\nPaper reference vs calibrated cost model\n" + paper_table
+
+
+def run_benchmark_row(
+    name: str,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    params: Optional[Dict[str, CostParams]] = None,
+) -> Table1Row:
+    """Train the three systems on one benchmark and build its row."""
+    scale = scale if scale is not None else default_scale()
+    params = params if params is not None else calibrated_params()
+    bench = make_benchmark(name)
+    paper = PAPER_TABLE1[name]
+    data = bench.dataset(
+        n_train=train_samples_for(name, scale), n_test=scale.n_test, seed=seed
+    )
+    cfg = train_config(scale, seed)
+    topology = bench.spec.topology
+    codec = FixedPointCodec(topology.bits)
+    y_test_q = codec.quantize(data.y_test)
+
+    # Digital ANN: ideal floating-point network on raw unit data.
+    digital = MLP((topology.inputs, topology.hidden, topology.outputs), rng=seed)
+    Trainer(config=cfg).fit(digital, data.x_train, data.y_train)
+    digital_pred = digital.predict(data.x_test)
+
+    # Traditional AD/DA RCS.
+    rcs = TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg)
+    adda_pred = rcs.predict(data.x_test)
+
+    # MEI, trained then LSB-pruned (Algorithm 2 Line 22).
+    mei = MEI(
+        MEIConfig(
+            in_groups=topology.inputs,
+            out_groups=topology.outputs,
+            hidden=paper.pruned_mei.hidden,
+            bits=topology.bits,
+        ),
+        seed=seed,
+    ).train(data.x_train, data.y_train, cfg)
+    mei_error_fn = lambda candidate: bench.error_normalized(
+        candidate.predict(data.x_test), data.y_test
+    )
+    unpruned_error = mei_error_fn(mei)
+    pruned = prune_lsbs(
+        mei,
+        mei_error_fn,
+        max_error=unpruned_error * 1.05,
+        mse=mei.mse(data.x_test, data.y_test),
+    ).mei
+    mei_pred = pruned.predict(data.x_test)
+
+    return Table1Row(
+        name=name,
+        topology=topology,
+        pruned_topology=pruned.topology(),
+        mse_digital=mse(digital_pred, data.y_test),
+        mse_adda=mse(adda_pred, y_test_q),
+        mse_mei=mse(mei_pred, y_test_q),
+        error_digital=bench.error_normalized(digital_pred, data.y_test),
+        error_adda=bench.error_normalized(adda_pred, data.y_test),
+        error_mei=bench.error_normalized(mei_pred, data.y_test),
+        area_saved_paper_topology=savings(
+            topology, paper.pruned_mei, params["area"]
+        ).saved_fraction,
+        power_saved_paper_topology=savings(
+            topology, paper.pruned_mei, params["power"]
+        ).saved_fraction,
+        area_saved_measured=savings(topology, pruned.topology(), params["area"]).saved_fraction,
+        power_saved_measured=savings(topology, pruned.topology(), params["power"]).saved_fraction,
+    )
+
+
+def run_table1(
+    names: Sequence[str] = BENCHMARK_NAMES,
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> Table1Result:
+    """Regenerate the full Table 1."""
+    params = calibrated_params()
+    return Table1Result(
+        rows=[run_benchmark_row(name, scale, seed, params) for name in names]
+    )

@@ -1,0 +1,23 @@
+"""Application error metrics and robustness statistics."""
+
+from repro.metrics.error import METRICS, average_relative_error, image_diff, miss_rate
+from repro.metrics.image import psnr, ssim
+from repro.metrics.robustness import (
+    NoisyEvaluation,
+    evaluate_under_noise,
+    noise_sweep,
+    robustness_index,
+)
+
+__all__ = [
+    "average_relative_error",
+    "miss_rate",
+    "image_diff",
+    "METRICS",
+    "psnr",
+    "ssim",
+    "NoisyEvaluation",
+    "evaluate_under_noise",
+    "noise_sweep",
+    "robustness_index",
+]

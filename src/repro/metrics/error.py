@@ -1,0 +1,82 @@
+"""Application error metrics used in Table 1.
+
+The paper evaluates each benchmark with the metric native to its
+application domain (Table 1, "Error Metric" column):
+
+* **average relative error** — FFT, Inversek2j (numeric kernels);
+* **miss rate** — Jmeint (binary classification);
+* **image diff** — JPEG, K-Means, Sobel (image pipelines).
+
+All metrics operate on engineering-unit arrays (the workload layer
+un-normalizes predictions before scoring).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["average_relative_error", "miss_rate", "image_diff", "METRICS"]
+
+
+def _check_shapes(predicted: np.ndarray, target: np.ndarray) -> None:
+    if predicted.shape != target.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {target.shape}")
+
+
+def average_relative_error(
+    predicted: np.ndarray,
+    target: np.ndarray,
+    epsilon: float = 0.01,
+    cap: float = 1.0,
+) -> float:
+    """Mean of clamped ``|pred - true| / max(|true|, epsilon)``.
+
+    ``epsilon`` guards near-zero targets and ``cap`` bounds each
+    element's contribution at 100% (both AxBench-style conventions —
+    without the cap, a handful of near-zero targets dominates the mean
+    for kernels like Inversek2j whose outputs cross zero).
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    target = np.asarray(target, dtype=float)
+    _check_shapes(predicted, target)
+    if cap <= 0:
+        raise ValueError(f"cap must be positive, got {cap}")
+    denom = np.maximum(np.abs(target), epsilon)
+    relative = np.minimum(np.abs(predicted - target) / denom, cap)
+    return float(np.mean(relative))
+
+
+def miss_rate(predicted: np.ndarray, target: np.ndarray) -> float:
+    """Classification miss rate for one-hot (or logit) outputs.
+
+    Class = argmax along the last axis; with a single output column,
+    the decision threshold is 0.5.
+    """
+    predicted = np.asarray(predicted, dtype=float)
+    target = np.asarray(target, dtype=float)
+    _check_shapes(predicted, target)
+    if predicted.ndim == 1 or predicted.shape[-1] == 1:
+        pred_cls = (predicted.reshape(len(predicted), -1)[:, 0] >= 0.5).astype(int)
+        true_cls = (target.reshape(len(target), -1)[:, 0] >= 0.5).astype(int)
+    else:
+        pred_cls = np.argmax(predicted, axis=-1)
+        true_cls = np.argmax(target, axis=-1)
+    return float(np.mean(pred_cls != true_cls))
+
+
+def image_diff(predicted: np.ndarray, target: np.ndarray, value_range: float = 1.0) -> float:
+    """Mean absolute pixel difference normalized by the value range."""
+    predicted = np.asarray(predicted, dtype=float)
+    target = np.asarray(target, dtype=float)
+    _check_shapes(predicted, target)
+    if value_range <= 0:
+        raise ValueError(f"value_range must be positive, got {value_range}")
+    return float(np.mean(np.abs(predicted - target)) / value_range)
+
+
+METRICS = {
+    "average_relative_error": average_relative_error,
+    "miss_rate": miss_rate,
+    "image_diff": image_diff,
+}
+"""Name -> callable registry used by the workload layer."""

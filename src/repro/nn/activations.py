@@ -1,0 +1,92 @@
+"""Activation functions for the NumPy MLP substrate.
+
+The RCS realizes the nonlinear activation with analog circuits
+(Sec. 2.1); the paper's networks use sigmoid-style neurons.  Each
+activation exposes ``forward`` and ``backward`` (derivative in terms of
+the *pre-activation* input), so layers can cache only what they need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Activation", "Sigmoid", "Tanh", "Relu", "Identity", "get_activation"]
+
+
+class Activation:
+    """Base class for activation functions."""
+
+    name = "base"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, x: np.ndarray) -> np.ndarray:
+        """Derivative of the activation evaluated at pre-activation x."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid — the analog neuron of the paper's RCS."""
+
+    name = "sigmoid"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # Clip to avoid overflow in exp for extreme pre-activations.
+        x = np.clip(x, -60.0, 60.0)
+        return 1.0 / (1.0 + np.exp(-x))
+
+    def backward(self, x: np.ndarray) -> np.ndarray:
+        s = self.forward(x)
+        return s * (1.0 - s)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent neuron."""
+
+    name = "tanh"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
+
+    def backward(self, x: np.ndarray) -> np.ndarray:
+        t = np.tanh(x)
+        return 1.0 - t * t
+
+
+class Relu(Activation):
+    """Rectified linear unit (not used by the paper; kept for studies)."""
+
+    name = "relu"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
+    def backward(self, x: np.ndarray) -> np.ndarray:
+        return (x > 0.0).astype(float)
+
+
+class Identity(Activation):
+    """Linear output stage (plain summing amplifier)."""
+
+    name = "identity"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return np.asarray(x, dtype=float)
+
+    def backward(self, x: np.ndarray) -> np.ndarray:
+        return np.ones_like(np.asarray(x, dtype=float))
+
+
+_REGISTRY = {cls.name: cls for cls in (Sigmoid, Tanh, Relu, Identity)}
+
+
+def get_activation(name: str) -> Activation:
+    """Look up an activation by name ('sigmoid', 'tanh', 'relu', 'identity')."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise ValueError(f"unknown activation {name!r}; known: {sorted(_REGISTRY)}") from None

@@ -1,0 +1,141 @@
+"""Dataset utilities: splits, normalization, and SAAB resampling.
+
+SAAB (Algorithm 1, Lines 3-4) maintains a weight distribution over
+training samples and draws each learner's training set from it;
+:func:`resample` implements that draw.  :class:`UnitScaler` owns the
+mapping between engineering units and the unit interval expected by the
+fixed-point codec and the sigmoid output stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["train_test_split", "UnitScaler", "resample", "minibatches"]
+
+
+def train_test_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.1,
+    rng: "np.random.Generator | int | None" = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split paired arrays into train/test partitions."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    if not 0 < test_fraction < 1:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    order = rng.permutation(len(x))
+    n_test = max(1, int(round(len(x) * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return x[train_idx], y[train_idx], x[test_idx], y[test_idx]
+
+
+@dataclass
+class UnitScaler:
+    """Affine map between a known value range and ``[0, 1)``.
+
+    The scaler squeezes values into ``[margin, 1 - margin]`` so that
+    targets stay inside the sigmoid's responsive region and below the
+    fixed-point codec's saturation point.
+    """
+
+    low: np.ndarray
+    high: np.ndarray
+    margin: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.low = np.atleast_1d(np.asarray(self.low, dtype=float))
+        self.high = np.atleast_1d(np.asarray(self.high, dtype=float))
+        if self.low.shape != self.high.shape:
+            raise ValueError("low/high shape mismatch")
+        if np.any(self.high <= self.low):
+            raise ValueError("high must exceed low elementwise")
+        if not 0 <= self.margin < 0.5:
+            raise ValueError(f"margin must be in [0, 0.5), got {self.margin}")
+
+    @classmethod
+    def from_data(cls, values: np.ndarray, margin: float = 0.0) -> "UnitScaler":
+        """Fit the range from observed data columns."""
+        values = np.atleast_2d(np.asarray(values, dtype=float))
+        low = values.min(axis=0)
+        high = values.max(axis=0)
+        # Guard degenerate constant columns.
+        span = high - low
+        high = np.where(span <= 0, low + 1.0, high)
+        return cls(low=low, high=high, margin=margin)
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        """Engineering units -> unit interval."""
+        values = np.asarray(values, dtype=float)
+        unit = (values - self.low) / (self.high - self.low)
+        return self.margin + unit * (1.0 - 2.0 * self.margin)
+
+    def inverse(self, unit: np.ndarray) -> np.ndarray:
+        """Unit interval -> engineering units."""
+        unit = np.asarray(unit, dtype=float)
+        core = (unit - self.margin) / (1.0 - 2.0 * self.margin)
+        return self.low + core * (self.high - self.low)
+
+
+def resample(
+    x: np.ndarray,
+    y: np.ndarray,
+    probabilities: np.ndarray,
+    size: "int | None" = None,
+    rng: "np.random.Generator | int | None" = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Draw a bootstrap sample according to a weight distribution.
+
+    Implements Algorithm 1 Line 4: "hard" samples (large weight) are
+    over-represented in the new learner's training set.
+    """
+    x = np.asarray(x)
+    y = np.asarray(y)
+    p = np.asarray(probabilities, dtype=float)
+    if len(x) != len(y) or len(p) != len(x):
+        raise ValueError("x, y and probabilities must share their length")
+    if np.any(p < 0):
+        raise ValueError("probabilities must be non-negative")
+    total = p.sum()
+    if total <= 0:
+        raise ValueError("probabilities sum to zero")
+    p = p / total
+    if size is None:
+        size = len(x)
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    idx = rng.choice(len(x), size=size, replace=True, p=p)
+    return x[idx], y[idx]
+
+
+def minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: "np.random.Generator | int | None" = None,
+    sample_weights: "np.ndarray | None" = None,
+):
+    """Yield shuffled minibatches ``(xb, yb[, wb])`` covering the data once."""
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) != len(y):
+        raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    order = rng.permutation(len(x))
+    for start in range(0, len(x), batch_size):
+        idx = order[start : start + batch_size]
+        if sample_weights is None:
+            yield x[idx], y[idx], None
+        else:
+            yield x[idx], y[idx], sample_weights[idx]

@@ -1,0 +1,30 @@
+"""Weight initializers for the MLP substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "xavier_normal", "uniform", "zeros"]
+
+
+def xavier_uniform(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform init — the default for sigmoid networks."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def xavier_normal(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier normal init."""
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def uniform(rng: np.random.Generator, fan_in: int, fan_out: int, scale: float = 0.1) -> np.ndarray:
+    """Small uniform init in ``[-scale, scale]``."""
+    return rng.uniform(-scale, scale, size=(fan_in, fan_out))
+
+
+def zeros(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """All-zero init (bias vectors)."""
+    del rng
+    return np.zeros((fan_in, fan_out))

@@ -1,0 +1,111 @@
+"""Dense layers with backprop for the NumPy MLP substrate.
+
+Each :class:`DenseLayer` corresponds to one weight matrix ``W_ij`` plus
+bias of Eq. (3) and — when the network is deployed on hardware — to one
+pair of RRAM crossbars (positive/negative) followed by the analog
+activation circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.nn.activations import Activation, get_activation
+from repro.nn.initializers import xavier_uniform
+
+__all__ = ["DenseLayer"]
+
+InitFn = Callable[[np.random.Generator, int, int], np.ndarray]
+
+
+class DenseLayer:
+    """Fully connected layer ``y = f(x @ W + b)``.
+
+    Parameters
+    ----------
+    in_dim, out_dim:
+        Fan-in and fan-out.
+    activation:
+        Activation instance or registered name.
+    rng:
+        Generator for weight init (required unless ``weights`` given).
+    weight_init:
+        Initializer function; defaults to Xavier uniform.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: "Activation | str" = "sigmoid",
+        rng: Optional[np.random.Generator] = None,
+        weight_init: InitFn = xavier_uniform,
+    ):
+        if in_dim < 1 or out_dim < 1:
+            raise ValueError(f"layer dims must be >= 1, got {in_dim}x{out_dim}")
+        if isinstance(activation, str):
+            activation = get_activation(activation)
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        self.activation = activation
+        if rng is None:
+            rng = np.random.default_rng()
+        self.weights = weight_init(rng, in_dim, out_dim)
+        self.bias = np.zeros(out_dim)
+        # Backprop caches, populated by forward(train=True).
+        self._x: Optional[np.ndarray] = None
+        self._pre: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Run the layer; cache inputs/pre-activations when training."""
+        x = np.asarray(x, dtype=float)
+        pre = x @ self.weights + self.bias
+        if train:
+            self._x = x
+            self._pre = pre
+        return self.activation.forward(pre)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop through the layer.
+
+        Parameters
+        ----------
+        grad_out:
+            Gradient of the loss w.r.t. this layer's output.
+
+        Returns
+        -------
+        Gradient w.r.t. this layer's input.  Weight/bias gradients are
+        stored on ``grad_weights`` / ``grad_bias``.
+        """
+        if self._x is None or self._pre is None:
+            raise RuntimeError("backward() called before forward(train=True)")
+        delta = grad_out * self.activation.backward(self._pre)
+        self.grad_weights = self._x.T @ delta
+        self.grad_bias = delta.sum(axis=0)
+        return delta @ self.weights.T
+
+    def params(self) -> Dict[str, np.ndarray]:
+        """Live references to the trainable parameter arrays."""
+        return {"weights": self.weights, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        """Gradients from the most recent backward pass."""
+        return {"weights": self.grad_weights, "bias": self.grad_bias}
+
+    def copy(self) -> "DenseLayer":
+        """Deep copy of the layer (weights and activation shared by type)."""
+        clone = DenseLayer.__new__(DenseLayer)
+        clone.in_dim = self.in_dim
+        clone.out_dim = self.out_dim
+        clone.activation = type(self.activation)()
+        clone.weights = self.weights.copy()
+        clone.bias = self.bias.copy()
+        clone._x = None
+        clone._pre = None
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DenseLayer({self.in_dim}->{self.out_dim}, {self.activation.name})"

@@ -1,0 +1,117 @@
+"""Loss functions, including the MSB-weighted MSE of Eq. (5).
+
+The paper trains RCS networks by minimizing
+
+    sum_n sum_p [ w_p * (t_p(n) - o_p(n)) ]**2        (Eq. 5)
+
+where ``w_p`` is a per-output-port weight.  With ``w_p = 1`` this is
+the ordinary sum-of-squares loss of Eq. (4); for MEI the weights decay
+exponentially from the MSB port to the LSB port so that MSB errors
+dominate the gradient.
+
+Losses also accept per-sample weights, which SAAB (Algorithm 1) uses
+when training a learner on the reweighted sample distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Loss", "WeightedMSE", "mse"]
+
+
+def mse(predicted: np.ndarray, target: np.ndarray) -> float:
+    """Plain mean squared error over all samples and ports."""
+    predicted = np.asarray(predicted, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if predicted.shape != target.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {target.shape}")
+    return float(np.mean((predicted - target) ** 2))
+
+
+class Loss:
+    """Base class: value and gradient with respect to predictions."""
+
+    def value(
+        self,
+        predicted: np.ndarray,
+        target: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> float:
+        raise NotImplementedError
+
+    def gradient(
+        self,
+        predicted: np.ndarray,
+        target: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+
+class WeightedMSE(Loss):
+    """Port-weighted mean squared error (Eq. 5).
+
+    Parameters
+    ----------
+    port_weights:
+        Weights ``w_p`` per output port; ``None`` means uniform (Eq. 4).
+        Stored squared internally since the loss uses ``(w_p * e_p)**2``.
+    """
+
+    def __init__(self, port_weights: Optional[np.ndarray] = None):
+        if port_weights is not None:
+            port_weights = np.asarray(port_weights, dtype=float)
+            if port_weights.ndim != 1:
+                raise ValueError("port_weights must be a 1-D array")
+            if np.any(port_weights < 0):
+                raise ValueError("port_weights must be non-negative")
+        self.port_weights = port_weights
+
+    def _sq_weights(self, n_ports: int) -> np.ndarray:
+        if self.port_weights is None:
+            return np.ones(n_ports)
+        if self.port_weights.shape[0] != n_ports:
+            raise ValueError(
+                f"loss has {self.port_weights.shape[0]} port weights "
+                f"but predictions have {n_ports} ports"
+            )
+        return self.port_weights**2
+
+    @staticmethod
+    def _check(predicted: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        predicted = np.asarray(predicted, dtype=float)
+        target = np.asarray(target, dtype=float)
+        if predicted.shape != target.shape:
+            raise ValueError(f"shape mismatch: {predicted.shape} vs {target.shape}")
+        if predicted.ndim != 2:
+            raise ValueError("expected (n_samples, n_ports) arrays")
+        return predicted, target
+
+    def value(
+        self,
+        predicted: np.ndarray,
+        target: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> float:
+        predicted, target = self._check(predicted, target)
+        sq = self._sq_weights(predicted.shape[1])
+        per_sample = ((predicted - target) ** 2) @ sq
+        if sample_weights is not None:
+            per_sample = per_sample * np.asarray(sample_weights, dtype=float)
+        return float(np.mean(per_sample))
+
+    def gradient(
+        self,
+        predicted: np.ndarray,
+        target: np.ndarray,
+        sample_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        predicted, target = self._check(predicted, target)
+        sq = self._sq_weights(predicted.shape[1])
+        grad = 2.0 * (predicted - target) * sq / predicted.shape[0]
+        if sample_weights is not None:
+            grad = grad * np.asarray(sample_weights, dtype=float)[:, None]
+        return grad

@@ -1,0 +1,105 @@
+"""Gradient-descent optimizers for the MLP substrate."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.layers import DenseLayer
+
+__all__ = ["Optimizer", "SGD", "Momentum", "Adam", "get_optimizer"]
+
+
+class Optimizer:
+    """Base optimizer applying per-layer parameter updates in place."""
+
+    def __init__(self, learning_rate: float = 0.1):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = learning_rate
+
+    def step(self, layers: List[DenseLayer]) -> None:
+        for i, layer in enumerate(layers):
+            params = layer.params()
+            grads = layer.grads()
+            for name, param in params.items():
+                update = self._update(f"{i}/{name}", grads[name])
+                param -= update
+
+    def _update(self, key: str, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Vanilla stochastic gradient descent."""
+
+    def _update(self, key: str, grad: np.ndarray) -> np.ndarray:
+        del key
+        return self.learning_rate * grad
+
+
+class Momentum(Optimizer):
+    """Heavy-ball momentum."""
+
+    def __init__(self, learning_rate: float = 0.1, momentum: float = 0.9):
+        super().__init__(learning_rate)
+        if not 0 <= momentum < 1:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[str, np.ndarray] = {}
+
+    def _update(self, key: str, grad: np.ndarray) -> np.ndarray:
+        v = self._velocity.get(key)
+        if v is None:
+            v = np.zeros_like(grad)
+        v = self.momentum * v + self.learning_rate * grad
+        self._velocity[key] = v
+        return v
+
+
+class Adam(Optimizer):
+    """Adam optimizer — the default trainer workhorse."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        if not 0 <= beta1 < 1 or not 0 <= beta2 < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: Dict[str, np.ndarray] = {}
+        self._v: Dict[str, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, layers: List[DenseLayer]) -> None:
+        self._t += 1
+        super().step(layers)
+
+    def _update(self, key: str, grad: np.ndarray) -> np.ndarray:
+        m = self._m.get(key, np.zeros_like(grad))
+        v = self._v.get(key, np.zeros_like(grad))
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[key] = m
+        self._v[key] = v
+        m_hat = m / (1 - self.beta1**self._t)
+        v_hat = v / (1 - self.beta2**self._t)
+        return self.learning_rate * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+_REGISTRY = {"sgd": SGD, "momentum": Momentum, "adam": Adam}
+
+
+def get_optimizer(name: str, **kwargs) -> Optimizer:
+    """Instantiate an optimizer by name ('sgd', 'momentum', 'adam')."""
+    try:
+        return _REGISTRY[name](**kwargs)
+    except KeyError:
+        raise ValueError(f"unknown optimizer {name!r}; known: {sorted(_REGISTRY)}") from None

@@ -1,0 +1,95 @@
+"""Bit-array helpers: MSB loss weights, hard thresholding, bit metrics.
+
+These utilities sit between the fixed-point codec and the MEI training
+pipeline:
+
+* :func:`msb_weights` builds the exponentially decaying per-port loss
+  weights of Eq. (5) (MSB weight ``2**0`` down to LSB ``2**-(B-1)``).
+* :func:`harden` models the 1-bit comparator / flip-flop output stage
+  that converts continuous crossbar outputs into digital levels.
+* :func:`msb_match` implements the relaxed comparison used by SAAB
+  (Algorithm 1, Line 6): two bit arrays "agree" when their most
+  significant ``B_C`` bits per group are identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["msb_weights", "harden", "msb_match", "bit_error_rate"]
+
+
+def msb_weights(bits: int, groups: int = 1, decay: float = 2.0) -> np.ndarray:
+    """Per-port loss weights emphasizing MSBs (Eq. 5).
+
+    Parameters
+    ----------
+    bits:
+        Word length of each port group.
+    groups:
+        Number of values encoded side by side; the weight pattern is
+        tiled per group.
+    decay:
+        Ratio between adjacent bit weights.  The paper's example uses
+        2.0: an 8-bit group gets weights ``2**0 ... 2**-7``.
+
+    Returns
+    -------
+    Array of shape ``(groups * bits,)`` with the MSB of each group at
+    weight 1.0.
+    """
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    if groups < 1:
+        raise ValueError(f"groups must be >= 1, got {groups}")
+    if decay <= 0:
+        raise ValueError(f"decay must be positive, got {decay}")
+    pattern = decay ** -np.arange(bits, dtype=float)
+    return np.tile(pattern, groups)
+
+
+def harden(soft_bits: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Threshold continuous outputs to 0/1 levels (1-bit comparator)."""
+    return (np.asarray(soft_bits, dtype=float) >= threshold).astype(float)
+
+
+def msb_match(predicted: np.ndarray, target: np.ndarray, bits: int, compare_bits: int) -> np.ndarray:
+    """Relaxed equality on the top ``compare_bits`` of each bit group.
+
+    Parameters
+    ----------
+    predicted, target:
+        Hard 0/1 bit arrays of shape ``(n, groups * bits)``.
+    bits:
+        Word length of each group.
+    compare_bits:
+        ``B_C`` in Algorithm 1 — how many leading bits must agree.
+
+    Returns
+    -------
+    Boolean array of shape ``(n,)``: True where every group's top
+    ``compare_bits`` bits match.
+    """
+    predicted = np.asarray(predicted)
+    target = np.asarray(target)
+    if predicted.shape != target.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {target.shape}")
+    if not 1 <= compare_bits <= bits:
+        raise ValueError(f"compare_bits must be in [1, {bits}], got {compare_bits}")
+    if predicted.shape[-1] % bits:
+        raise ValueError(
+            f"trailing axis {predicted.shape[-1]} is not a multiple of word length {bits}"
+        )
+    n_groups = predicted.shape[-1] // bits
+    pred = predicted.reshape(*predicted.shape[:-1], n_groups, bits)[..., :compare_bits]
+    targ = target.reshape(*target.shape[:-1], n_groups, bits)[..., :compare_bits]
+    return np.all(pred == targ, axis=(-1, -2))
+
+
+def bit_error_rate(predicted: np.ndarray, target: np.ndarray) -> float:
+    """Fraction of individual bits that differ between two bit arrays."""
+    predicted = np.asarray(predicted)
+    target = np.asarray(target)
+    if predicted.shape != target.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {target.shape}")
+    return float(np.mean(predicted != target))

@@ -1,0 +1,124 @@
+"""Benchmark abstraction shared by the six workloads.
+
+The paper evaluates on the NPU benchmark suite of Esmaeilzadeh et al.
+[1] and St. Amant et al. [7].  Those benchmarks ship as proprietary
+binaries with captured traces; we rebuild each one from scratch:
+
+* an **oracle** — an exact implementation of the kernel the neural
+  network approximates (FFT twiddle, inverse kinematics, triangle
+  intersection, JPEG block codec, k-means distance, Sobel window);
+* a **generator** producing the kernel's input distribution
+  synthetically (there are no data files in this repo);
+* the **error metric** native to the application (Table 1).
+
+A :class:`Benchmark` owns the unit-interval normalization, so the
+architecture layer (:mod:`repro.core`) only ever sees values in
+``[0, 1)`` — exactly what the fixed-point codec and the sigmoid output
+stage expect.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.cost.area import Topology
+from repro.metrics.error import METRICS
+from repro.nn.datasets import UnitScaler
+
+__all__ = ["BenchmarkSpec", "Benchmark", "Dataset"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Static description of a benchmark (Table 1 rows)."""
+
+    name: str
+    application: str
+    topology: Topology
+    metric: str
+
+    def __post_init__(self) -> None:
+        if self.metric not in METRICS:
+            raise ValueError(f"unknown metric {self.metric!r}; known: {sorted(METRICS)}")
+
+
+@dataclass
+class Dataset:
+    """Normalized train/test split plus the scalers that produced it."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+    input_scaler: UnitScaler
+    output_scaler: UnitScaler
+
+    @property
+    def in_dim(self) -> int:
+        return self.x_train.shape[1]
+
+    @property
+    def out_dim(self) -> int:
+        return self.y_train.shape[1]
+
+
+class Benchmark(ABC):
+    """One workload: oracle kernel + input generator + metric."""
+
+    spec: BenchmarkSpec
+
+    @abstractmethod
+    def generate(self, n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``n`` raw (engineering-unit) input/output pairs."""
+
+    @abstractmethod
+    def scalers(self) -> Tuple[UnitScaler, UnitScaler]:
+        """Analytic input/output scalers to the unit interval."""
+
+    @property
+    def metric_fn(self) -> Callable[[np.ndarray, np.ndarray], float]:
+        """The application's error metric on engineering units."""
+        return METRICS[self.spec.metric]
+
+    def error(self, predicted_raw: np.ndarray, target_raw: np.ndarray) -> float:
+        """Score predictions with the benchmark's native metric."""
+        return self.metric_fn(predicted_raw, target_raw)
+
+    def dataset(
+        self,
+        n_train: int = 10_000,
+        n_test: int = 1_000,
+        seed: int = 0,
+    ) -> Dataset:
+        """Generate and normalize a train/test split.
+
+        The paper trains on 10,000 random samples and tests on another
+        1,000 (Sec. 3.1's Fig. 3 setup); those are the defaults.
+        """
+        if n_train < 1 or n_test < 1:
+            raise ValueError("n_train and n_test must be >= 1")
+        rng = np.random.default_rng(seed)
+        x_raw, y_raw = self.generate(n_train + n_test, rng)
+        in_scaler, out_scaler = self.scalers()
+        x = in_scaler.transform(x_raw)
+        y = out_scaler.transform(y_raw)
+        return Dataset(
+            x_train=x[:n_train],
+            y_train=y[:n_train],
+            x_test=x[n_train:],
+            y_test=y[n_train:],
+            input_scaler=in_scaler,
+            output_scaler=out_scaler,
+        )
+
+    def error_normalized(self, predicted_unit: np.ndarray, target_unit: np.ndarray) -> float:
+        """Score unit-interval predictions by un-normalizing first."""
+        _, out_scaler = self.scalers()
+        return self.error(out_scaler.inverse(predicted_unit), out_scaler.inverse(target_unit))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.spec.name}, {self.spec.topology})"

@@ -1,0 +1,52 @@
+"""The paper's motivation workload: fitting ``f(x) = exp(-x**2)``.
+
+Sec. 3.1 / Fig. 3 use a ``1 x N x 1`` RCS that performs approximate
+computing by fitting ``f(x) = exp(-x**2)`` on 10,000 random training
+samples in ``(0, 1)`` and 1,000 test samples.  This workload drives
+the Fig. 3 hidden-size sweep and the quickstart example; it is not
+part of the Table 1 suite.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.cost.area import Topology
+from repro.nn.datasets import UnitScaler
+from repro.workloads.base import Benchmark, BenchmarkSpec
+
+__all__ = ["gaussian_kernel", "ExpFitBenchmark"]
+
+
+def gaussian_kernel(x: np.ndarray) -> np.ndarray:
+    """Exact kernel ``exp(-x**2)`` on ``(n, 1)`` inputs."""
+    x = np.asarray(x, dtype=float).reshape(-1, 1)
+    return np.exp(-x * x)
+
+
+class ExpFitBenchmark(Benchmark):
+    """Approximate computing of exp(-x^2), topology 1xNx1 (Fig. 3)."""
+
+    def __init__(self, hidden: int = 8) -> None:
+        if hidden < 1:
+            raise ValueError(f"hidden must be >= 1, got {hidden}")
+        self.spec = BenchmarkSpec(
+            name="expfit",
+            application="Approximate Computing",
+            topology=Topology(inputs=1, hidden=hidden, outputs=1),
+            metric="average_relative_error",
+        )
+
+    def generate(self, n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        x = rng.uniform(0.0, 1.0, size=(n, 1))
+        return x, gaussian_kernel(x)
+
+    def scalers(self) -> Tuple[UnitScaler, UnitScaler]:
+        in_scaler = UnitScaler(low=np.zeros(1), high=np.ones(1))
+        # exp(-x^2) on (0, 1) spans (exp(-1), 1).
+        out_scaler = UnitScaler(
+            low=np.array([np.exp(-1.0)]), high=np.ones(1), margin=0.05
+        )
+        return in_scaler, out_scaler

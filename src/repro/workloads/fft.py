@@ -1,0 +1,102 @@
+"""FFT benchmark: radix-2 FFT substrate + twiddle-factor approximation.
+
+The NPU suite's ``fft`` workload replaces the twiddle computation
+inside a radix-2 Cooley-Tukey FFT with a 1x8x2 neural network: one
+input (the normalized angle fraction ``x`` in ``(0, 1)``) and two
+outputs (the real and imaginary twiddle components ``cos(2 pi x)`` and
+``-sin(2 pi x)``).  Error metric: average relative error (Table 1).
+
+This module provides:
+
+* :func:`radix2_fft` — a from-scratch recursive radix-2 FFT (the host
+  application substrate);
+* :func:`twiddle` — the exact kernel the network approximates;
+* :func:`approximate_fft` — the FFT with its twiddles served by any
+  predictor, used by the examples to demonstrate end-to-end
+  approximate computing on the RCS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.cost.area import Topology
+from repro.nn.datasets import UnitScaler
+from repro.workloads.base import Benchmark, BenchmarkSpec
+
+__all__ = ["twiddle", "radix2_fft", "approximate_fft", "FFTBenchmark"]
+
+
+def twiddle(fraction: np.ndarray) -> np.ndarray:
+    """Exact twiddle kernel: fraction x -> (cos(2 pi x), -sin(2 pi x)).
+
+    ``fraction`` has shape ``(n, 1)`` (or ``(n,)``); returns ``(n, 2)``.
+    """
+    fraction = np.asarray(fraction, dtype=float).reshape(-1)
+    angle = 2.0 * np.pi * fraction
+    return np.column_stack([np.cos(angle), -np.sin(angle)])
+
+
+def radix2_fft(signal: np.ndarray) -> np.ndarray:
+    """Recursive radix-2 Cooley-Tukey FFT (power-of-two length)."""
+    signal = np.asarray(signal, dtype=complex)
+    n = signal.shape[0]
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"signal length must be a power of two, got {n}")
+    if n == 1:
+        return signal.copy()
+    even = radix2_fft(signal[0::2])
+    odd = radix2_fft(signal[1::2])
+    k = np.arange(n // 2)
+    tw = twiddle(k / n)
+    factors = tw[:, 0] + 1j * tw[:, 1]
+    return np.concatenate([even + factors * odd, even - factors * odd])
+
+
+def approximate_fft(
+    signal: np.ndarray,
+    twiddle_fn: Callable[[np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """Radix-2 FFT whose twiddle factors come from ``twiddle_fn``.
+
+    ``twiddle_fn`` maps fractions ``(m, 1)`` to ``(m, 2)`` twiddle
+    pairs — pass an RCS/MEI predictor pipeline to run the paper's
+    approximate-computing scenario.
+    """
+    signal = np.asarray(signal, dtype=complex)
+    n = signal.shape[0]
+    if n == 0 or n & (n - 1):
+        raise ValueError(f"signal length must be a power of two, got {n}")
+    if n == 1:
+        return signal.copy()
+    even = approximate_fft(signal[0::2], twiddle_fn)
+    odd = approximate_fft(signal[1::2], twiddle_fn)
+    k = np.arange(n // 2)
+    tw = np.asarray(twiddle_fn((k / n).reshape(-1, 1)), dtype=float)
+    factors = tw[:, 0] + 1j * tw[:, 1]
+    return np.concatenate([even + factors * odd, even - factors * odd])
+
+
+class FFTBenchmark(Benchmark):
+    """Twiddle-factor approximation, topology 1x8x2 (Table 1)."""
+
+    def __init__(self) -> None:
+        self.spec = BenchmarkSpec(
+            name="fft",
+            application="Signal Processing",
+            topology=Topology(inputs=1, hidden=8, outputs=2),
+            metric="average_relative_error",
+        )
+
+    def generate(self, n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        x = rng.uniform(0.0, 1.0, size=(n, 1))
+        return x, twiddle(x)
+
+    def scalers(self) -> Tuple[UnitScaler, UnitScaler]:
+        # Inputs already live in (0, 1); outputs are in [-1, 1].  A
+        # small output margin keeps sigmoid targets off the rails.
+        in_scaler = UnitScaler(low=np.zeros(1), high=np.ones(1))
+        out_scaler = UnitScaler(low=-np.ones(2), high=np.ones(2), margin=0.05)
+        return in_scaler, out_scaler

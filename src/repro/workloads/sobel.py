@@ -1,0 +1,113 @@
+"""Sobel benchmark: 3x3 gradient-magnitude kernel + edge-map substrate.
+
+The NPU suite's ``sobel`` workload approximates the Sobel edge
+detector's per-window computation with a 9x8x1 network: input is a
+3x3 grayscale window (row-major), output the clamped gradient
+magnitude.  Error metric: image diff on the edge map.
+
+Substrate implemented from scratch:
+
+* :func:`sobel_window` — the exact kernel on ``(n, 9)`` windows;
+* :func:`sobel_image` — full-image edge map via window extraction
+  (reflect padding), accepting a pluggable window kernel so the RCS
+  pipeline can be dropped in;
+* :func:`extract_windows` — im2col-style 3x3 window extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.cost.area import Topology
+from repro.nn.datasets import UnitScaler
+from repro.workloads.base import Benchmark, BenchmarkSpec
+from repro.workloads.jpeg import synthetic_image
+
+__all__ = ["SOBEL_X", "SOBEL_Y", "sobel_window", "extract_windows", "sobel_image",
+           "SobelBenchmark", "MAX_MAGNITUDE"]
+
+SOBEL_X = np.array([[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]])
+SOBEL_Y = SOBEL_X.T.copy()
+
+MAX_MAGNITUDE = 255.0
+"""The kernel clamps gradient magnitudes to the pixel range."""
+
+WindowFn = Callable[[np.ndarray], np.ndarray]
+"""Maps (n, 9) windows to (n, 1) magnitudes."""
+
+
+def sobel_window(windows: np.ndarray) -> np.ndarray:
+    """Exact kernel: ``(n, 9)`` row-major 3x3 windows -> ``(n, 1)``.
+
+    Magnitude ``sqrt(gx^2 + gy^2)`` clamped to ``[0, 255]`` (the NPU
+    benchmark clamps so the output fits a pixel).
+    """
+    windows = np.atleast_2d(np.asarray(windows, dtype=float))
+    if windows.shape[1] != 9:
+        raise ValueError(f"expected 9 pixels per window, got {windows.shape[1]}")
+    gx = windows @ SOBEL_X.reshape(-1)
+    gy = windows @ SOBEL_Y.reshape(-1)
+    mag = np.sqrt(gx * gx + gy * gy)
+    return np.clip(mag, 0.0, MAX_MAGNITUDE).reshape(-1, 1)
+
+
+def extract_windows(image: np.ndarray) -> np.ndarray:
+    """All 3x3 windows of an image with reflect padding, ``(h*w, 9)``."""
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError(f"expected a grayscale image, got shape {image.shape}")
+    padded = np.pad(image, 1, mode="reflect")
+    h, w = image.shape
+    windows = np.empty((h, w, 9))
+    idx = 0
+    for dy in range(3):
+        for dx in range(3):
+            windows[:, :, idx] = padded[dy : dy + h, dx : dx + w]
+            idx += 1
+    return windows.reshape(h * w, 9)
+
+
+def sobel_image(image: np.ndarray, window_fn: Optional[WindowFn] = None) -> np.ndarray:
+    """Edge map of a grayscale image via a pluggable window kernel."""
+    image = np.asarray(image, dtype=float)
+    fn = window_fn if window_fn is not None else sobel_window
+    windows = extract_windows(image)
+    magnitudes = np.asarray(fn(windows), dtype=float).reshape(image.shape)
+    return magnitudes
+
+
+class SobelBenchmark(Benchmark):
+    """Gradient magnitude approximation, topology 9x8x1 (Table 1)."""
+
+    def __init__(self) -> None:
+        self.spec = BenchmarkSpec(
+            name="sobel",
+            application="Image Processing",
+            topology=Topology(inputs=9, hidden=8, outputs=1),
+            metric="image_diff",
+        )
+
+    def generate(self, n: int, rng: np.random.Generator) -> Tuple[np.ndarray, np.ndarray]:
+        # Low-texture images: photographic content has correlated
+        # pixels, so the gradient field is dominated by real edges
+        # rather than per-pixel noise (heavy texture would make the
+        # window->magnitude mapping mostly irreducible noise for the
+        # paper's 9x8x1 topology).
+        windows = []
+        while sum(w.shape[0] for w in windows) < n:
+            img = synthetic_image(48, 48, rng, texture=2.0)
+            w = extract_windows(img)
+            windows.append(w[rng.permutation(len(w))])
+        all_windows = np.concatenate(windows)[:n]
+        return all_windows, sobel_window(all_windows)
+
+    def scalers(self) -> Tuple[UnitScaler, UnitScaler]:
+        in_scaler = UnitScaler(low=np.zeros(9), high=np.full(9, 255.0))
+        out_scaler = UnitScaler(low=np.zeros(1), high=np.array([MAX_MAGNITUDE]), margin=0.02)
+        return in_scaler, out_scaler
+
+    def error(self, predicted_raw: np.ndarray, target_raw: np.ndarray) -> float:
+        """Image diff normalized by the magnitude range."""
+        return self.metric_fn(predicted_raw, target_raw, value_range=MAX_MAGNITUDE)

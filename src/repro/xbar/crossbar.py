@@ -1,0 +1,150 @@
+"""Behavioural RRAM crossbar model (Eq. 1-2 of the paper).
+
+A crossbar with ``n`` input rows and ``m`` output columns computes
+
+    V_o[j] = sum_k c[k, j] * V_i[k]                       (Eq. 1)
+    c[k, j] = g[k, j] / (g_s + sum_l g[l, j])             (Eq. 2)
+
+where ``g`` are the cell conductances and ``g_s`` the load conductance.
+The paper's Eq. 2 subscripts are ambiguous about whether the
+denominator sums a row or a column; Kirchhoff's current law at the
+bitline (and the reference model of Hu et al., DAC'12) gives the
+*column* sum, which is what we implement — the MNA solver in
+:mod:`repro.xbar.mna` converges to exactly this form as wire
+resistance vanishes, and the tests check that agreement.  The
+column-sum term couples the cells of one output column — the mapping
+layer (:mod:`repro.xbar.mapping`) inverts exactly this coupling when
+it programs a target coefficient matrix.
+
+:class:`Crossbar` is the single-array primitive; a differential pair of
+them (positive/negative) realizes signed matrices, handled by
+:class:`repro.xbar.mapping.DifferentialCrossbar`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.device.rram import HFOX_DEVICE, RRAMDevice
+from repro.device.variation import NonIdealFactors
+
+__all__ = ["Crossbar", "coefficients_from_conductance", "sinh_nonlinearity"]
+
+
+def sinh_nonlinearity(v: np.ndarray, alpha: float) -> np.ndarray:
+    """Normalized sinh I-V nonlinearity of an RRAM cell.
+
+    Real devices conduct super-linearly with voltage,
+    ``I ~ sinh(alpha * V)``; normalized so ``f(0) = 0`` and
+    ``f(1) = 1``, with ``alpha -> 0`` recovering the linear model.
+    MEI's 0/1 input levels land exactly on the two fixed points, so
+    input-side nonlinearity distorts analog-driven (AD/DA) crossbars
+    but not MEI's first layer — one more advantage of discrete levels.
+    """
+    if alpha < 0:
+        raise ValueError(f"alpha must be >= 0, got {alpha}")
+    v = np.asarray(v, dtype=float)
+    if alpha == 0:
+        return v
+    return np.sinh(alpha * v) / np.sinh(alpha)
+
+
+def coefficients_from_conductance(g: np.ndarray, g_s: float) -> np.ndarray:
+    """Compute the coefficient matrix ``c`` of Eq. 2 from conductances."""
+    g = np.asarray(g, dtype=float)
+    if g.ndim != 2:
+        raise ValueError(f"conductance matrix must be 2-D, got shape {g.shape}")
+    if np.any(g < 0):
+        raise ValueError("conductances must be non-negative")
+    if g_s <= 0:
+        raise ValueError(f"load conductance must be positive, got {g_s}")
+    col_sums = g.sum(axis=0, keepdims=True)
+    return g / (g_s + col_sums)
+
+
+class Crossbar:
+    """One RRAM crossbar array of shape ``(rows, cols)``.
+
+    Parameters
+    ----------
+    conductances:
+        Programmed cell conductances in siemens, shape ``(rows, cols)``.
+    g_s:
+        Load conductance at each output column.
+    device:
+        Device model used to clip/discretize the programmed states.
+    """
+
+    def __init__(
+        self,
+        conductances: np.ndarray,
+        g_s: float,
+        device: RRAMDevice = HFOX_DEVICE,
+        nonlinearity: float = 0.0,
+    ):
+        conductances = np.asarray(conductances, dtype=float)
+        if conductances.ndim != 2:
+            raise ValueError(f"conductances must be 2-D, got shape {conductances.shape}")
+        if g_s <= 0:
+            raise ValueError(f"load conductance must be positive, got {g_s}")
+        if nonlinearity < 0:
+            raise ValueError(f"nonlinearity must be >= 0, got {nonlinearity}")
+        self.device = device
+        self.g_s = float(g_s)
+        self.nonlinearity = float(nonlinearity)
+        self.conductances = device.discretize(conductances)
+
+    @property
+    def rows(self) -> int:
+        return self.conductances.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.conductances.shape[1]
+
+    def coefficients(self, noise: Optional[NonIdealFactors] = None,
+                     rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Effective coefficient matrix, optionally under process variation.
+
+        Process variation perturbs the *conductances*; the coupled
+        denominators of Eq. 2 are recomputed from the perturbed states,
+        so PV on one cell shifts every coefficient in its row — a
+        second-order effect SPICE would capture and we preserve.
+        """
+        g = self.conductances
+        if noise is not None and noise.sigma_pv > 0:
+            g = self.device.clip_conductance(noise.perturb_conductance(g, rng))
+        return coefficients_from_conductance(g, self.g_s)
+
+    def apply(
+        self,
+        v_in: np.ndarray,
+        noise: Optional[NonIdealFactors] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Analog matrix-vector product on a batch of input vectors.
+
+        Parameters
+        ----------
+        v_in:
+            Input voltages, shape ``(batch, rows)`` or ``(rows,)``.
+        noise:
+            Optional non-ideal factors; PV perturbs the conductances,
+            SF perturbs the input voltages.
+        rng:
+            Generator for one Monte-Carlo trial (defaults to the noise
+            object's own seeding).
+        """
+        v_in = np.atleast_2d(np.asarray(v_in, dtype=float))
+        if v_in.shape[1] != self.rows:
+            raise ValueError(f"input has {v_in.shape[1]} ports, crossbar has {self.rows} rows")
+        if noise is not None:
+            if rng is None:
+                rng = noise.rng()
+            v_in = noise.perturb_signal(v_in, rng)
+        if self.nonlinearity > 0:
+            v_in = sinh_nonlinearity(v_in, self.nonlinearity)
+        c = self.coefficients(noise, rng)
+        return v_in @ c

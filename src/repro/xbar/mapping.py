@@ -1,0 +1,222 @@
+"""Weight-matrix to conductance mapping (differential crossbar pair).
+
+The crossbar coefficient of Eq. 2 is non-negative and bounded, so a
+signed weight matrix ``W`` is realized as the difference of two arrays
+(the paper doubles the RRAM area for exactly this reason, Sec. 4.1):
+
+    W * x  ≈  (1 / scale) * (C_pos - C_neg)^T-free form: x @ (C_pos - C_neg)
+
+Mapping steps:
+
+1. split ``W`` into positive and negative parts;
+2. choose a scale so every column's coefficient sum stays below a
+   headroom bound (Eq. 2 requires ``sum_k c[k, j] < 1``);
+3. add the same *base coefficient* to every cell of both arrays so the
+   smallest target stays programmable (``>= g_min``); because both
+   arrays realize their targets exactly, the base cancels in the
+   differential output;
+4. invert Eq. 2 *exactly* per column: with column sum
+   ``S_j = sum_l g[l, j]`` and target coefficients ``c``,
+   ``S_j = g_s * sc_j / (1 - sc_j)`` (``sc_j`` the column's
+   coefficient sum) and ``g[k, j] = c[k, j] * (g_s + S_j)``.
+
+The periphery gain ``1 / scale`` is applied by the analog neuron stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.device.rram import HFOX_DEVICE, RRAMDevice
+from repro.device.variation import NonIdealFactors
+from repro.xbar.crossbar import Crossbar
+
+__all__ = ["MappingConfig", "solve_conductances", "DifferentialCrossbar", "map_matrix"]
+
+
+@dataclass(frozen=True)
+class MappingConfig:
+    """Mapping policy knobs.
+
+    Parameters
+    ----------
+    g_s:
+        Load conductance; sized ~10x the device ``g_max`` so the
+        denominator of Eq. 2 is dominated by the load.
+    row_sum_headroom:
+        Upper bound on a column's total coefficient (must be < 1).
+        (Named after the paper's Eq. 2 row notation; physically the
+        bound applies per bitline column.)
+    coefficient_ceiling:
+        Largest single coefficient targeted; keeps cells below g_max.
+    """
+
+    g_s: float = 1e-3
+    row_sum_headroom: float = 0.5
+    coefficient_ceiling: float = 0.01
+    input_nonlinearity: float = 0.0
+    """Sinh I-V nonlinearity alpha applied to each crossbar's input
+    voltages (0 = ideal linear cell).  Digital 0/1 drive levels are
+    unaffected by construction (the sinh is normalized at 0 and 1)."""
+    max_rows_per_tile: "int | None" = None
+    """When set, deployments split matrices taller than this into
+    row tiles whose output currents sum
+    (:class:`repro.xbar.tiling.TiledDifferentialCrossbar`)."""
+
+    def __post_init__(self) -> None:
+        if self.input_nonlinearity < 0:
+            raise ValueError("input_nonlinearity must be >= 0")
+        if self.max_rows_per_tile is not None and self.max_rows_per_tile < 1:
+            raise ValueError("max_rows_per_tile must be >= 1 when set")
+        if self.g_s <= 0:
+            raise ValueError("g_s must be positive")
+        if not 0 < self.row_sum_headroom < 1:
+            raise ValueError("row_sum_headroom must be in (0, 1)")
+        if not 0 < self.coefficient_ceiling < 1:
+            raise ValueError("coefficient_ceiling must be in (0, 1)")
+
+    def base_coefficient(self, device: RRAMDevice) -> float:
+        """Smallest coefficient guaranteed programmable.
+
+        ``c >= g_min / g_s`` implies the solved conductance
+        ``c * (g_s + S_j) >= g_min`` for any column sum ``S_j >= 0``.
+        """
+        return device.g_min / self.g_s
+
+
+def solve_conductances(coefficients: np.ndarray, g_s: float, device: RRAMDevice) -> np.ndarray:
+    """Invert Eq. 2: find conductances realizing target coefficients.
+
+    Exact where feasible; cells whose solution falls outside the device
+    window are clipped (the caller's scale choice keeps this rare).
+    """
+    c = np.asarray(coefficients, dtype=float)
+    if np.any(c < 0):
+        raise ValueError("target coefficients must be non-negative")
+    col_sums = c.sum(axis=0)
+    if np.any(col_sums >= 1.0):
+        raise ValueError("column coefficient sums must be < 1 for Eq. 2 to be invertible")
+    s = g_s * col_sums / (1.0 - col_sums)
+    g = c * (g_s + s)[None, :]
+    return device.clip_conductance(g)
+
+
+def _choose_scale(weights: np.ndarray, config: MappingConfig, base: float) -> float:
+    """Scale factor mapping weights onto feasible coefficients.
+
+    The base coefficient added to every cell consumes part of the
+    column-sum headroom, so the usable budget shrinks with the number
+    of rows.
+    """
+    w_pos = np.maximum(weights, 0.0)
+    w_neg = np.maximum(-weights, 0.0)
+    max_cell = max(np.max(np.abs(weights)), 1e-12)
+    max_col = max(np.max(w_pos.sum(axis=0)), np.max(w_neg.sum(axis=0)), 1e-12)
+    budget = config.row_sum_headroom - base * weights.shape[0]
+    if budget <= 0:
+        raise ValueError(
+            f"crossbar with {weights.shape[0]} rows exhausts the column-sum "
+            f"headroom {config.row_sum_headroom} with base coefficient {base}; "
+            "use a device with a larger on/off ratio or a larger g_s"
+        )
+    ceiling_budget = config.coefficient_ceiling - base
+    if ceiling_budget <= 0:
+        raise ValueError(
+            f"base coefficient {base} consumes the whole coefficient ceiling "
+            f"{config.coefficient_ceiling}; use a device with a larger on/off "
+            "ratio, a larger g_s, or raise coefficient_ceiling"
+        )
+    return min(ceiling_budget / max_cell, budget / max_col)
+
+
+class DifferentialCrossbar:
+    """A positive/negative crossbar pair realizing a signed matrix.
+
+    Parameters
+    ----------
+    weights:
+        Target matrix of shape ``(in_dim, out_dim)``; the pair computes
+        ``x @ weights`` up to the stored ``gain`` (``= 1/scale``) which
+        the analog periphery restores.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        config: Optional[MappingConfig] = None,
+        device: RRAMDevice = HFOX_DEVICE,
+    ):
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        self.config = config if config is not None else MappingConfig()
+        self.device = device
+        base = self.config.base_coefficient(device)
+        self.scale = _choose_scale(weights, self.config, base)
+        c_pos = np.maximum(weights, 0.0) * self.scale + base
+        c_neg = np.maximum(-weights, 0.0) * self.scale + base
+        self.positive = Crossbar(
+            solve_conductances(c_pos, self.config.g_s, device),
+            self.config.g_s,
+            device,
+            nonlinearity=self.config.input_nonlinearity,
+        )
+        self.negative = Crossbar(
+            solve_conductances(c_neg, self.config.g_s, device),
+            self.config.g_s,
+            device,
+            nonlinearity=self.config.input_nonlinearity,
+        )
+
+    @property
+    def gain(self) -> float:
+        """Periphery gain restoring the pre-mapping weight magnitude."""
+        return 1.0 / self.scale
+
+    @property
+    def in_dim(self) -> int:
+        return self.positive.rows
+
+    @property
+    def out_dim(self) -> int:
+        return self.positive.cols
+
+    @property
+    def device_count(self) -> int:
+        """Total RRAM cells used (the ``2 (I+O) H`` factor of Eq. 6)."""
+        return self.positive.conductances.size + self.negative.conductances.size
+
+    def apply(
+        self,
+        x: np.ndarray,
+        noise: Optional[NonIdealFactors] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Compute ``x @ W`` (gain already restored) under optional noise.
+
+        Signal fluctuation is applied once to the shared input voltages
+        (both arrays see the same fluctuated signal, as in hardware);
+        process variation is drawn independently per array.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if noise is not None:
+            if rng is None:
+                rng = noise.rng()
+            x = noise.perturb_signal(x, rng)
+            pv_only = NonIdealFactors(sigma_pv=noise.sigma_pv, sigma_sf=0.0, seed=noise.seed)
+            out = self.positive.apply(x, pv_only, rng) - self.negative.apply(x, pv_only, rng)
+        else:
+            out = self.positive.apply(x) - self.negative.apply(x)
+        return out * self.gain
+
+
+def map_matrix(
+    weights: np.ndarray,
+    config: Optional[MappingConfig] = None,
+    device: RRAMDevice = HFOX_DEVICE,
+) -> DifferentialCrossbar:
+    """Convenience constructor for :class:`DifferentialCrossbar`."""
+    return DifferentialCrossbar(weights, config=config, device=device)

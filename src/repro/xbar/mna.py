@@ -1,0 +1,177 @@
+"""Modified nodal analysis (MNA) of a crossbar with wire resistance.
+
+The paper performs SPICE-level emulation of the crossbar and picks a
+90nm interconnect "to reduce the impact of IR drop" [17].  This module
+is the SPICE-equivalent substrate: it solves the full resistive network
+of an ``n x m`` crossbar, including wordline/bitline wire segment
+resistance, with a sparse linear solve.
+
+Circuit topology (one cell at word row ``i``, bit column ``j``):
+
+* wordline node ``W(i, j)``; ``W(i, 0)`` is driven by the input source
+  ``V_i`` (ideal driver);
+* wire conductance ``g_w`` between horizontally adjacent wordline
+  nodes and vertically adjacent bitline nodes;
+* the RRAM cell ``g[i, j]`` bridges ``W(i, j)`` to ``B(i, j)``;
+* each bitline ends in a terminal node ``T(j)`` loaded by ``g_s`` to
+  ground; the output voltage is read at ``T(j)``.
+
+As ``g_w -> inf`` the solution converges to the ideal behavioural
+model of :mod:`repro.xbar.crossbar` (column-sum Eq. 2); the unit tests
+assert that limit, which also validates our reading of the paper's
+ambiguous Eq. 2 subscripts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+__all__ = ["MNACrossbar"]
+
+
+class MNACrossbar:
+    """IR-drop-aware crossbar solved by sparse modified nodal analysis.
+
+    Parameters
+    ----------
+    conductances:
+        Cell conductance matrix ``(rows, cols)`` in siemens.
+    g_s:
+        Load conductance at each bitline terminal.
+    wire_resistance:
+        Resistance of one wire segment between adjacent cross-points
+        (ohms).  ~1-5 ohm/segment is typical for 90nm metal.
+    """
+
+    def __init__(self, conductances: np.ndarray, g_s: float, wire_resistance: float = 2.0):
+        conductances = np.asarray(conductances, dtype=float)
+        if conductances.ndim != 2:
+            raise ValueError(f"conductances must be 2-D, got shape {conductances.shape}")
+        if np.any(conductances < 0):
+            raise ValueError("conductances must be non-negative")
+        if g_s <= 0:
+            raise ValueError("load conductance must be positive")
+        if wire_resistance <= 0:
+            raise ValueError("wire resistance must be positive")
+        self.g = conductances
+        self.g_s = float(g_s)
+        self.g_w = 1.0 / float(wire_resistance)
+        self._factorized = None
+        self._build()
+
+    # -- node numbering -------------------------------------------------
+    # unknowns: W(i,j) for j >= 1, then all B(i,j), then T(j).
+    # W(i,0) is the driven (known) node of row i.
+
+    def _w_index(self, i: int, j: int) -> int:
+        # j >= 1 only; W(i, 0) is a source node.
+        return i * (self.cols - 1) + (j - 1) if self.cols > 1 else -1
+
+    def _b_index(self, i: int, j: int) -> int:
+        return self._n_w + i * self.cols + j
+
+    def _t_index(self, j: int) -> int:
+        return self._n_w + self.rows * self.cols + j
+
+    @property
+    def rows(self) -> int:
+        return self.g.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self.g.shape[1]
+
+    def _build(self) -> None:
+        n, m = self.rows, self.cols
+        self._n_w = n * (m - 1)
+        n_nodes = self._n_w + n * m + m
+        data, rows_idx, cols_idx = [], [], []
+        # rhs contribution matrix: maps the n source voltages to currents.
+        src_data, src_rows, src_cols = [], [], []
+
+        def stamp(a: int, b: int, g: float) -> None:
+            """Stamp a conductance between two unknown nodes."""
+            data.extend((g, g, -g, -g))
+            rows_idx.extend((a, b, a, b))
+            cols_idx.extend((a, b, b, a))
+
+        def stamp_to_source(a: int, source: int, g: float) -> None:
+            """Stamp a conductance from unknown node a to source node."""
+            data.append(g)
+            rows_idx.append(a)
+            cols_idx.append(a)
+            src_data.append(g)
+            src_rows.append(a)
+            src_cols.append(source)
+
+        def stamp_to_ground(a: int, g: float) -> None:
+            data.append(g)
+            rows_idx.append(a)
+            cols_idx.append(a)
+
+        for i in range(n):
+            for j in range(m):
+                b = self._b_index(i, j)
+                g_cell = self.g[i, j]
+                # Device from W(i,j) to B(i,j).
+                if j == 0:
+                    if g_cell > 0:
+                        stamp_to_source(b, i, g_cell)
+                else:
+                    w = self._w_index(i, j)
+                    if g_cell > 0:
+                        stamp(w, b, g_cell)
+                # Wordline wire W(i,j) -- W(i,j+1).
+                if j + 1 < m:
+                    w_next = self._w_index(i, j + 1)
+                    if j == 0:
+                        stamp_to_source(w_next, i, self.g_w)
+                    else:
+                        stamp(self._w_index(i, j), w_next, self.g_w)
+                # Bitline wire B(i,j) -- B(i+1,j), and last row to T(j).
+                if i + 1 < n:
+                    stamp(b, self._b_index(i + 1, j), self.g_w)
+                else:
+                    stamp(b, self._t_index(j), self.g_w)
+        for j in range(m):
+            stamp_to_ground(self._t_index(j), self.g_s)
+
+        matrix = sp.coo_matrix((data, (rows_idx, cols_idx)), shape=(n_nodes, n_nodes)).tocsc()
+        self._source_map = sp.coo_matrix(
+            (src_data, (src_rows, src_cols)), shape=(n_nodes, n)
+        ).tocsc()
+        self._factorized = spla.factorized(matrix)
+        self._n_nodes = n_nodes
+
+    def solve(self, v_in: np.ndarray) -> np.ndarray:
+        """Solve the network for a batch of input voltage vectors.
+
+        Parameters
+        ----------
+        v_in:
+            Shape ``(batch, rows)`` or ``(rows,)``.
+
+        Returns
+        -------
+        Output voltages at the bitline terminals, shape ``(batch, cols)``.
+        """
+        v_in = np.atleast_2d(np.asarray(v_in, dtype=float))
+        if v_in.shape[1] != self.rows:
+            raise ValueError(f"input has {v_in.shape[1]} ports, crossbar has {self.rows} rows")
+        rhs = self._source_map @ v_in.T  # (n_nodes, batch)
+        solution = self._factorized(np.asarray(rhs.todense() if sp.issparse(rhs) else rhs))
+        t0 = self._t_index(0)
+        return solution[t0 : t0 + self.cols].T
+
+    def ideal_outputs(self, v_in: np.ndarray) -> np.ndarray:
+        """Reference outputs from the zero-wire-resistance model."""
+        from repro.xbar.crossbar import coefficients_from_conductance
+
+        v_in = np.atleast_2d(np.asarray(v_in, dtype=float))
+        return v_in @ coefficients_from_conductance(self.g, self.g_s)
+
+    def ir_drop_error(self, v_in: np.ndarray) -> float:
+        """Mean |MNA - ideal| output deviation for given inputs."""
+        return float(np.mean(np.abs(self.solve(v_in) - self.ideal_outputs(v_in))))

@@ -1,0 +1,103 @@
+"""SPICE netlist export for crossbar arrays.
+
+The paper's accuracy emulation runs "SPICE-level" crossbar simulation
+with a Verilog-A device model.  Our solvers are pure Python, but for
+users who want to cross-check against a real circuit simulator this
+module writes a standard SPICE deck of the same network the
+:class:`repro.xbar.mna.MNACrossbar` solves:
+
+* one resistor per RRAM cell (``Rc<i>_<j>``);
+* wordline/bitline wire segment resistors (``Rw``/``Rb``);
+* load resistors to ground at each bitline terminal (``Rl<j>``);
+* DC voltage sources driving the wordlines (``Vin<i>``);
+* ``.op`` analysis and ``.print`` of the output nodes.
+
+The node naming matches the MNA solver's topology docs, so a SPICE
+``.op`` run reproduces ``MNACrossbar.solve`` voltages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["crossbar_netlist"]
+
+
+def _fmt(value: float) -> str:
+    """SPICE-friendly number formatting."""
+    return f"{value:.6g}"
+
+
+def crossbar_netlist(
+    conductances: np.ndarray,
+    g_s: float,
+    v_in: Sequence[float],
+    wire_resistance: float = 2.0,
+    title: str = "rram crossbar",
+    comments: Optional[Sequence[str]] = None,
+) -> str:
+    """Build a SPICE deck for one crossbar with wire parasitics.
+
+    Parameters
+    ----------
+    conductances:
+        Cell conductances, shape ``(rows, cols)``; zero-conductance
+        cells are omitted (open circuit).
+    g_s:
+        Load conductance at each bitline terminal.
+    v_in:
+        DC drive voltage per wordline.
+    wire_resistance:
+        Per-segment wire resistance in ohms.
+    title, comments:
+        Deck header content.
+
+    Returns the netlist as a string (caller writes it to a file).
+    """
+    g = np.asarray(conductances, dtype=float)
+    if g.ndim != 2:
+        raise ValueError(f"conductances must be 2-D, got shape {g.shape}")
+    if np.any(g < 0):
+        raise ValueError("conductances must be non-negative")
+    if g_s <= 0 or wire_resistance <= 0:
+        raise ValueError("g_s and wire_resistance must be positive")
+    v_in = list(v_in)
+    rows, cols = g.shape
+    if len(v_in) != rows:
+        raise ValueError(f"need {rows} input voltages, got {len(v_in)}")
+
+    lines: List[str] = [f"* {title}"]
+    for comment in comments or ():
+        lines.append(f"* {comment}")
+    lines.append(f"* {rows}x{cols} array, R_wire={_fmt(wire_resistance)} ohm, "
+                 f"R_load={_fmt(1.0 / g_s)} ohm")
+
+    # Sources drive the first wordline node of each row.
+    for i, v in enumerate(v_in):
+        lines.append(f"Vin{i} w{i}_0 0 DC {_fmt(float(v))}")
+
+    # Wordline wires w<i>_<j> -- w<i>_<j+1>.
+    for i in range(rows):
+        for j in range(cols - 1):
+            lines.append(f"Rw{i}_{j} w{i}_{j} w{i}_{j + 1} {_fmt(wire_resistance)}")
+
+    # Cells w<i>_<j> -- b<i>_<j>.
+    for i in range(rows):
+        for j in range(cols):
+            if g[i, j] > 0:
+                lines.append(f"Rc{i}_{j} w{i}_{j} b{i}_{j} {_fmt(1.0 / g[i, j])}")
+
+    # Bitline wires b<i>_<j> -- b<i+1>_<j>, last row to terminal t<j>.
+    for j in range(cols):
+        for i in range(rows - 1):
+            lines.append(f"Rb{i}_{j} b{i}_{j} b{i + 1}_{j} {_fmt(wire_resistance)}")
+        lines.append(f"Rbt{j} b{rows - 1}_{j} t{j} {_fmt(wire_resistance)}")
+        lines.append(f"Rl{j} t{j} 0 {_fmt(1.0 / g_s)}")
+
+    lines.append(".op")
+    outputs = " ".join(f"v(t{j})" for j in range(cols))
+    lines.append(f".print op {outputs}")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.nn.trainer import TrainConfig
+
+
+@pytest.fixture
+def rng():
+    """Deterministic generator for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fast_train():
+    """A tiny training budget for architecture smoke tests."""
+    return TrainConfig(epochs=30, batch_size=64, learning_rate=0.02, shuffle_seed=0)

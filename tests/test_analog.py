@@ -1,0 +1,132 @@
+"""Unit tests for behavioural AD/DA converters and analog periphery."""
+
+import numpy as np
+import pytest
+
+from repro.analog.converters import ADC, DAC
+from repro.analog.periphery import Comparator, SigmoidNeuron
+
+
+class TestDAC:
+    def test_quantizes_to_grid(self, rng):
+        dac = DAC(bits=8)
+        out = dac.convert(rng.uniform(0, 1, 100))
+        assert np.allclose(out * 256, np.round(out * 256))
+
+    def test_error_bounded_by_lsb(self, rng):
+        dac = DAC(bits=8)
+        x = rng.uniform(0, 0.99, 200)
+        assert np.all(np.abs(dac.convert(x) - x) < 2.0**-8)
+
+    def test_noise_perturbs_output(self, rng):
+        noisy = DAC(bits=8, noise_lsb=2.0)
+        x = rng.uniform(0.2, 0.8, 50)
+        a = noisy.convert(x, np.random.default_rng(0))
+        b = DAC(bits=8).convert(x)
+        assert not np.allclose(a, b)
+
+    def test_noise_stays_in_rails(self, rng):
+        noisy = DAC(bits=4, noise_lsb=10.0)
+        out = noisy.convert(rng.uniform(0, 1, 500), np.random.default_rng(0))
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0 - 2.0**-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DAC(bits=0)
+        with pytest.raises(ValueError):
+            DAC(noise_lsb=-1.0)
+
+
+class TestADC:
+    def test_quantizes_and_clips(self):
+        adc = ADC(bits=8)
+        out = adc.convert(np.array([-0.5, 0.3, 1.7]))
+        assert out[0] == 0.0
+        assert out[2] == 255 / 256
+        assert np.isclose(out[1] * 256, np.round(out[1] * 256))
+
+    def test_more_bits_less_error(self, rng):
+        x = rng.uniform(0, 0.99, 500)
+        err4 = np.mean(np.abs(ADC(bits=4).convert(x) - x))
+        err10 = np.mean(np.abs(ADC(bits=10).convert(x) - x))
+        assert err10 < err4
+
+    def test_input_referred_noise(self, rng):
+        x = rng.uniform(0.2, 0.8, 100)
+        noisy = ADC(bits=8, noise_lsb=3.0).convert(x, np.random.default_rng(1))
+        clean = ADC(bits=8).convert(x)
+        assert not np.allclose(noisy, clean)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ADC(bits=40)
+        with pytest.raises(ValueError):
+            ADC(noise_lsb=-0.1)
+
+
+class TestSigmoidNeuron:
+    def test_applies_gain_bias_sigmoid(self):
+        neuron = SigmoidNeuron(gain=2.0, bias=np.array([1.0]))
+        out = neuron.apply(np.array([[0.5]]))
+        assert np.isclose(out[0, 0], 1.0 / (1.0 + np.exp(-2.0)))
+
+    def test_output_in_unit_interval(self, rng):
+        neuron = SigmoidNeuron(gain=5.0, bias=np.zeros(4))
+        out = neuron.apply(rng.normal(0, 10, (20, 4)))
+        # Saturated outputs may round to exactly 0.0/1.0 in float64.
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_static_mismatch_is_frozen(self, rng):
+        neuron = SigmoidNeuron(
+            gain=1.0, bias=np.zeros(3), offset_sigma=0.2, rng=np.random.default_rng(0)
+        )
+        x = rng.normal(size=(2, 3))
+        assert np.allclose(neuron.apply(x), neuron.apply(x))
+
+    def test_mismatch_differs_between_instances(self, rng):
+        x = rng.normal(size=(2, 3))
+        n1 = SigmoidNeuron(gain=1.0, bias=np.zeros(3), offset_sigma=0.3,
+                           rng=np.random.default_rng(1))
+        n2 = SigmoidNeuron(gain=1.0, bias=np.zeros(3), offset_sigma=0.3,
+                           rng=np.random.default_rng(2))
+        assert not np.allclose(n1.apply(x), n2.apply(x))
+
+    def test_no_overflow_on_extreme_inputs(self):
+        neuron = SigmoidNeuron(gain=1e6, bias=np.zeros(1))
+        assert np.all(np.isfinite(neuron.apply(np.array([[1e6], [-1e6]]))))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SigmoidNeuron(gain=1.0, bias=np.zeros(2), offset_sigma=-1.0)
+
+
+class TestComparator:
+    def test_thresholds_at_half(self):
+        comp = Comparator()
+        out = comp.apply(np.array([0.2, 0.5, 0.8]))
+        assert np.array_equal(out, [0.0, 1.0, 1.0])
+
+    def test_custom_threshold(self):
+        comp = Comparator(threshold=0.9)
+        assert comp.apply(np.array([0.85]))[0] == 0.0
+
+    def test_offset_noise_flips_marginal_bits(self):
+        comp = Comparator(offset_sigma=0.2)
+        marginal = np.full(2000, 0.5)
+        out = comp.apply(marginal, np.random.default_rng(0))
+        # Roughly half flip each way under a symmetric offset.
+        assert 0.3 < out.mean() < 0.7
+
+    def test_strong_levels_are_stable(self):
+        comp = Comparator(offset_sigma=0.05)
+        out = comp.apply(np.concatenate([np.zeros(100), np.ones(100)]),
+                         np.random.default_rng(0))
+        assert np.array_equal(out[:100], np.zeros(100))
+        assert np.array_equal(out[100:], np.ones(100))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Comparator(threshold=0.0)
+        with pytest.raises(ValueError):
+            Comparator(offset_sigma=-0.1)

@@ -1,0 +1,209 @@
+"""Tests for AnalogMLP deployment, TraditionalRCS and MEI."""
+
+import numpy as np
+import pytest
+
+from repro.core.deploy import AnalogMLP
+from repro.core.mei import MEI, MEIConfig
+from repro.core.rcs import TraditionalRCS
+from repro.cost.area import Topology
+from repro.device.variation import IDEAL, NonIdealFactors
+from repro.nn.network import MLP
+from repro.nn.trainer import TrainConfig
+
+
+def _toy_data(rng, n=400):
+    """A smooth 2-in 1-out mapping in the unit interval."""
+    x = rng.uniform(0, 1, (n, 2))
+    y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+    return x, y
+
+
+class TestAnalogMLP:
+    def test_matches_software_network(self, rng):
+        """Ideal deployment must match the software net to high precision."""
+        net = MLP((4, 6, 2), rng=0)
+        analog = AnalogMLP(net)
+        x = rng.uniform(0, 1, (10, 4))
+        assert np.allclose(analog.forward(x), net.predict(x), atol=1e-8)
+
+    def test_weights_snapshot_at_deploy(self, rng):
+        net = MLP((2, 4, 1), rng=0)
+        analog = AnalogMLP(net)
+        x = rng.uniform(0, 1, (5, 2))
+        before = analog.forward(x)
+        net.layers[0].weights += 10.0  # post-deploy software change
+        assert np.allclose(analog.forward(x), before)
+
+    def test_device_count(self):
+        analog = AnalogMLP(MLP((3, 5, 2), rng=0))
+        assert analog.device_count == 2 * 3 * 5 + 2 * 5 * 2
+
+    def test_noise_trials_reproducible(self, rng):
+        analog = AnalogMLP(MLP((3, 4, 2), rng=0))
+        x = rng.uniform(0, 1, (5, 3))
+        noise = NonIdealFactors(sigma_pv=0.2, seed=11)
+        a = analog.forward(x, noise, trial=2)
+        b = analog.forward(x, noise, trial=2)
+        c = analog.forward(x, noise, trial=3)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_input_validation(self, rng):
+        analog = AnalogMLP(MLP((3, 4, 2), rng=0))
+        with pytest.raises(ValueError):
+            analog.forward(rng.uniform(0, 1, (2, 5)))
+
+
+class TestTraditionalRCS:
+    def test_train_and_predict(self, rng, fast_train):
+        x, y = _toy_data(rng)
+        rcs = TraditionalRCS(Topology(2, 8, 1), seed=0).train(x, y, fast_train)
+        pred = rcs.predict(x[:50])
+        assert pred.shape == (50, 1)
+        assert np.mean(np.abs(pred - y[:50])) < 0.1
+
+    def test_predict_requires_training(self):
+        rcs = TraditionalRCS(Topology(2, 4, 1), seed=0)
+        with pytest.raises(RuntimeError):
+            rcs.predict(np.zeros((1, 2)))
+
+    def test_output_quantized_to_adc_grid(self, rng, fast_train):
+        x, y = _toy_data(rng)
+        rcs = TraditionalRCS(Topology(2, 8, 1, bits=8), seed=0).train(x, y, fast_train)
+        pred = rcs.predict(x[:20])
+        assert np.allclose(pred * 256, np.round(pred * 256))
+
+    def test_analog_path_close_to_digital(self, rng, fast_train):
+        """The ideal mixed-signal path only adds bounded quantization error."""
+        x, y = _toy_data(rng)
+        rcs = TraditionalRCS(Topology(2, 8, 1), seed=0).train(x, y, fast_train)
+        digital = rcs.predict_digital(x)
+        analog = rcs.predict(x)
+        # Input+output 8-bit quantization bounds the deviation: the
+        # output step alone is 2^-8, distortion through the net stays
+        # within a few LSBs for a smooth target.
+        assert np.mean(np.abs(analog - digital)) < 0.02
+
+    def test_noise_degrades_accuracy(self, rng, fast_train):
+        x, y = _toy_data(rng)
+        rcs = TraditionalRCS(Topology(2, 8, 1), seed=0).train(x, y, fast_train)
+        clean = rcs.mse(x, y)
+        noisy = rcs.mse(x, y, NonIdealFactors(sigma_pv=0.4, sigma_sf=0.4, seed=0))
+        assert noisy > clean
+
+    def test_bit_interface_roundtrip(self, rng, fast_train):
+        x, y = _toy_data(rng)
+        rcs = TraditionalRCS(Topology(2, 8, 1), seed=0).train(x, y, fast_train)
+        bits = rcs.predict_bits(x[:10])
+        assert bits.shape == (10, 8)
+        assert set(np.unique(bits)) <= {0.0, 1.0}
+        target_bits = rcs.target_bits(y[:10])
+        assert target_bits.shape == (10, 8)
+
+    def test_sample_weights_accepted(self, rng, fast_train):
+        x, y = _toy_data(rng, n=100)
+        weights = rng.uniform(0.5, 1.5, 100)
+        TraditionalRCS(Topology(2, 4, 1), seed=0).train(x, y, fast_train, weights)
+
+
+class TestMEIConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MEIConfig(0, 1, 4)
+        with pytest.raises(ValueError):
+            MEIConfig(1, 1, 4, bits=0)
+        with pytest.raises(ValueError):
+            MEIConfig(1, 1, 4, weight_decay_ratio=0.0)
+
+
+class TestMEI:
+    def test_port_counts(self):
+        mei = MEI(MEIConfig(in_groups=2, out_groups=1, hidden=8, bits=8), seed=0)
+        assert mei.in_ports_full == 16
+        assert mei.out_ports_full == 8
+        assert mei.network.in_dim == 16
+        assert mei.network.out_dim == 8
+
+    def test_loss_weights_match_eq5(self):
+        mei = MEI(MEIConfig(1, 2, 4, bits=8), seed=0)
+        weights = mei.loss().port_weights
+        assert weights[0] == 1.0
+        assert weights[7] == 2.0**-7
+        assert weights[8] == 1.0  # second group restarts at the MSB
+
+    def test_plain_loss_when_unweighted(self):
+        mei = MEI(MEIConfig(1, 1, 4, msb_weighted=False), seed=0)
+        assert mei.loss().port_weights is None
+
+    def test_train_and_predict(self, rng, fast_train):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 16), seed=0).train(x, y, fast_train)
+        pred = mei.predict(x[:50])
+        assert pred.shape == (50, 1)
+        assert np.mean(np.abs(pred - y[:50])) < 0.15
+
+    def test_predict_bits_hard(self, rng, fast_train):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, fast_train)
+        bits = mei.predict_bits(x[:10])
+        assert set(np.unique(bits)) <= {0.0, 1.0}
+
+    def test_predict_requires_training(self):
+        mei = MEI(MEIConfig(1, 1, 4), seed=0)
+        with pytest.raises(RuntimeError):
+            mei.predict_bits(np.zeros((1, 1)))
+
+    def test_topology_for_cost_model(self):
+        mei = MEI(MEIConfig(in_groups=2, out_groups=2, hidden=32, bits=8), seed=0)
+        topo = mei.topology()
+        assert topo.in_ports == 16 and topo.out_ports == 16 and topo.hidden == 32
+        assert str(topo) == "(2.8)x32x(2.8)"
+
+    def test_pruned_view_masks_ports(self, rng, fast_train):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, fast_train)
+        pruned = mei.pruned(in_bits=4, out_bits=5)
+        assert pruned.in_ports == 8 and pruned.out_ports == 5
+        assert str(pruned.topology()) == "(2.4)x8x(1.5)"
+        # The original is untouched.
+        assert mei.in_bits == 8 and mei.out_bits == 8
+
+    def test_pruned_input_bits_zeroed(self, rng, fast_train):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, fast_train)
+        pruned = mei.pruned(in_bits=3)
+        encoded = pruned.encode_inputs(x[:5])
+        assert np.all(encoded[:, 3:8] == 0.0)
+        assert np.all(encoded[:, 11:16] == 0.0)
+
+    def test_pruned_output_decode_excludes_lsbs(self):
+        mei = MEI(MEIConfig(1, 1, 4, bits=4), seed=0)
+        pruned = mei.pruned(out_bits=2)
+        bits = np.ones((1, 4))
+        # Only the top two bits contribute: 0.5 + 0.25.
+        assert np.isclose(pruned.decode_outputs(bits)[0, 0], 0.75)
+
+    def test_pruned_validation(self):
+        mei = MEI(MEIConfig(1, 1, 4), seed=0)
+        with pytest.raises(ValueError):
+            mei.pruned(in_bits=0)
+        with pytest.raises(ValueError):
+            mei.pruned(out_bits=9)
+
+    def test_mei_robust_to_sf_relative_to_adda(self, rng, fast_train):
+        """The Fig. 5 headline: discrete inputs resist signal noise."""
+        x, y = _toy_data(rng)
+        noise = NonIdealFactors(sigma_sf=0.3, seed=3)
+        rcs = TraditionalRCS(Topology(2, 8, 1), seed=0).train(x, y, fast_train)
+        mei = MEI(MEIConfig(2, 1, 16), seed=0).train(x, y, fast_train)
+        rcs_degradation = rcs.mse(x, y, noise) - rcs.mse(x, y)
+        mei_degradation = mei.mse(x, y, noise) - mei.mse(x, y)
+        assert mei_degradation < rcs_degradation * 1.5
+
+    def test_from_traditional(self):
+        mei = MEI.from_traditional(Topology(2, 8, 2, bits=8), seed=0)
+        assert mei.config.in_groups == 2
+        assert mei.config.out_groups == 2
+        assert mei.config.hidden == 16  # 2x default
+        assert mei.config.bits == 8

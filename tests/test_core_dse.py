@@ -1,0 +1,130 @@
+"""Tests for the design space exploration flow (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dse import DSEConfig, DSEResult, explore, search_hidden_size
+from repro.core.mei import MEI, MEIConfig
+from repro.core.saab import SAAB
+from repro.cost.area import Topology
+from repro.device.variation import NonIdealFactors
+from repro.nn.trainer import TrainConfig
+
+
+def _toy_dataset(rng, n=500):
+    x = rng.uniform(0, 1, (n, 2))
+    y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+    return x[:-100], y[:-100], x[-100:], y[-100:]
+
+
+def _metric(pred, target):
+    return float(np.mean(np.abs(pred - target)))
+
+
+FAST = TrainConfig(epochs=25, batch_size=64, learning_rate=0.02, shuffle_seed=0)
+
+
+class TestDSEConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DSEConfig(error_requirement=0.0)
+        with pytest.raises(ValueError):
+            DSEConfig(error_requirement=0.1, robustness_requirement=2.0)
+        with pytest.raises(ValueError):
+            DSEConfig(error_requirement=0.1, initial_hidden=8, max_hidden=4)
+        with pytest.raises(ValueError):
+            DSEConfig(error_requirement=0.1, change_rate_threshold=0.0)
+
+
+class TestHiddenSearch:
+    def test_search_grows_until_stall(self, rng):
+        x_tr, y_tr, x_te, y_te = _toy_dataset(rng)
+        config = DSEConfig(error_requirement=0.1, initial_hidden=2, max_hidden=32,
+                           change_rate_threshold=0.3)
+        make = lambda h, s: MEI(MEIConfig(2, 1, h), seed=s)
+        best, hidden, history = search_hidden_size(
+            make, x_tr, y_tr, x_te, y_te, _metric, config, FAST
+        )
+        assert best.config.hidden == hidden
+        assert len(history) >= 2
+        sizes = [h for h, _ in history]
+        assert sizes == sorted(sizes)
+        assert all(b == 2 * a for a, b in zip(sizes, sizes[1:]))
+
+    def test_search_respects_max_hidden(self, rng):
+        x_tr, y_tr, x_te, y_te = _toy_dataset(rng, n=200)
+        config = DSEConfig(error_requirement=0.1, initial_hidden=4, max_hidden=8,
+                           change_rate_threshold=1e-9)
+        make = lambda h, s: MEI(MEIConfig(2, 1, h), seed=s)
+        _, hidden, history = search_hidden_size(
+            make, x_tr, y_tr, x_te, y_te, _metric, config, FAST
+        )
+        assert hidden <= 8
+        assert max(h for h, _ in history) <= 8
+
+
+class TestExplore:
+    def test_easy_requirement_single_mei(self, rng):
+        """A loose budget is met by R1 without boosting."""
+        x_tr, y_tr, x_te, y_te = _toy_dataset(rng)
+        config = DSEConfig(error_requirement=0.2, initial_hidden=8, max_hidden=16,
+                           prune=False, seed=0)
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric, config, FAST)
+        assert result.status == "ok"
+        assert not result.used_saab
+        assert result.k == 1
+        assert isinstance(result.system, MEI)
+        assert result.error <= 0.2
+
+    def test_impossible_requirement_reports(self, rng):
+        """An unmeetable error budget must end in Mission Impossible."""
+        x_tr, y_tr, x_te, y_te = _toy_dataset(rng, n=300)
+        config = DSEConfig(error_requirement=1e-9, initial_hidden=4, max_hidden=8,
+                           prune=False, seed=0)
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric, config, FAST)
+        assert result.status == "mission_impossible"
+        assert any("Mission Impossible" in line for line in result.log)
+        assert result.k <= result.k_max
+
+    def test_robustness_requirement_can_trigger_saab(self, rng):
+        """A strict robustness bar under noise exercises the boost loop."""
+        x_tr, y_tr, x_te, y_te = _toy_dataset(rng, n=300)
+        noise = NonIdealFactors(sigma_pv=0.3, sigma_sf=0.3, seed=5)
+        config = DSEConfig(
+            error_requirement=0.5,
+            robustness_requirement=0.999,  # nearly impossible under noise
+            noise=noise,
+            initial_hidden=4,
+            max_hidden=8,
+            noise_trials=2,
+            prune=False,
+            seed=0,
+        )
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric, config, FAST)
+        # Either it found a robust config or exhausted K_max trying.
+        assert result.status in ("ok", "mission_impossible")
+        assert result.k >= 1
+
+    def test_pruning_runs_on_single_mei(self, rng):
+        x_tr, y_tr, x_te, y_te = _toy_dataset(rng)
+        config = DSEConfig(error_requirement=0.2, initial_hidden=8, max_hidden=16,
+                           prune=True, seed=0)
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric, config, FAST)
+        assert isinstance(result.system, MEI)
+        assert result.topology.in_bits <= 8
+        assert result.topology.out_bits <= 8
+
+    def test_savings_fractions_reported(self, rng):
+        x_tr, y_tr, x_te, y_te = _toy_dataset(rng, n=300)
+        config = DSEConfig(error_requirement=0.2, initial_hidden=8, max_hidden=8,
+                           prune=False, seed=0)
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric, config, FAST)
+        assert -1.0 < result.area_saved < 1.0
+        assert -1.0 < result.power_saved < 1.0
+
+    def test_k_max_positive(self, rng):
+        x_tr, y_tr, x_te, y_te = _toy_dataset(rng, n=300)
+        config = DSEConfig(error_requirement=0.2, initial_hidden=8, max_hidden=8,
+                           prune=False, seed=0)
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric, config, FAST)
+        assert result.k_max >= 1

@@ -1,0 +1,72 @@
+"""Tests for write-verify programmed deployment of AnalogMLP."""
+
+import numpy as np
+import pytest
+
+from repro.core.deploy import AnalogMLP
+from repro.device.programming import ProgrammingConfig
+from repro.nn.network import MLP
+
+
+class TestProgrammedDeployment:
+    def test_programming_perturbs_conductances(self, rng):
+        net = MLP((4, 6, 2), rng=0)
+        ideal = AnalogMLP(net)
+        programmed = AnalogMLP(
+            net, programming=ProgrammingConfig(tolerance=0.05, max_iterations=3,
+                                               pulse_sigma=0.1, seed=0)
+        )
+        assert not np.allclose(
+            ideal.crossbars[0].positive.conductances,
+            programmed.crossbars[0].positive.conductances,
+        )
+
+    def test_tight_programming_close_to_ideal(self, rng):
+        net = MLP((4, 6, 2), rng=0)
+        ideal = AnalogMLP(net)
+        programmed = AnalogMLP(
+            net, programming=ProgrammingConfig(tolerance=0.002, max_iterations=50,
+                                               pulse_sigma=0.05, seed=0)
+        )
+        x = rng.uniform(0, 1, (10, 4))
+        assert np.allclose(programmed.forward(x), ideal.forward(x), atol=0.05)
+
+    def test_loose_programming_degrades_more(self, rng):
+        net = MLP((4, 6, 2), rng=0)
+        ideal = AnalogMLP(net)
+        x = rng.uniform(0, 1, (20, 4))
+        reference = ideal.forward(x)
+
+        def deviation(tolerance, iterations):
+            programmed = AnalogMLP(
+                net,
+                programming=ProgrammingConfig(tolerance=tolerance,
+                                              max_iterations=iterations,
+                                              pulse_sigma=0.15, seed=0),
+            )
+            return float(np.mean(np.abs(programmed.forward(x) - reference)))
+
+        assert deviation(0.2, 1) > deviation(0.005, 40)
+
+    def test_programming_is_deterministic_with_seed(self, rng):
+        net = MLP((3, 4, 1), rng=0)
+        config = ProgrammingConfig(seed=7)
+        a = AnalogMLP(net, programming=config)
+        b = AnalogMLP(net, programming=config)
+        x = rng.uniform(0, 1, (5, 3))
+        assert np.array_equal(a.forward(x), b.forward(x))
+
+    def test_arrays_get_distinct_noise_streams(self):
+        net = MLP((3, 4, 1), rng=0)
+        deployed = AnalogMLP(
+            net, programming=ProgrammingConfig(pulse_sigma=0.2, tolerance=0.05,
+                                               max_iterations=1, seed=0)
+        )
+        pos = deployed.crossbars[0].positive.conductances
+        neg = deployed.crossbars[0].negative.conductances
+        ideal = AnalogMLP(net)
+        rel_pos = pos / ideal.crossbars[0].positive.conductances
+        rel_neg = neg / ideal.crossbars[0].negative.conductances
+        # If both arrays shared a stream the relative perturbations
+        # would be identical.
+        assert not np.allclose(rel_pos, rel_neg)

@@ -1,0 +1,70 @@
+"""SAAB over TraditionalRCS learners (the protocol's second implementor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rcs import TraditionalRCS
+from repro.core.saab import SAAB, SAABConfig
+from repro.cost.area import Topology
+from repro.nn.trainer import TrainConfig
+from repro.xbar.mapping import MappingConfig
+
+FAST = TrainConfig(epochs=30, batch_size=64, learning_rate=0.02, shuffle_seed=0)
+
+
+def _toy_data(rng, n=400):
+    x = rng.uniform(0, 1, (n, 2))
+    y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+    return x, y
+
+
+class TestSAABOverRCS:
+    def test_trains_and_votes(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(
+            lambda k: TraditionalRCS(Topology(2, 8, 1), seed=60 + k),
+            SAABConfig(n_learners=3, compare_bits=4, seed=0),
+        ).train(x, y, FAST)
+        assert len(saab) == 3
+        pred = saab.predict(x[:40])
+        assert pred.shape == (40, 1)
+        # Decoded through the generic codec path: unit-interval values.
+        assert np.all((pred >= 0) & (pred < 1))
+
+    def test_vote_accuracy_reasonable(self, rng):
+        x, y = _toy_data(rng, n=600)
+        saab = SAAB(
+            lambda k: TraditionalRCS(Topology(2, 8, 1), seed=60 + k),
+            SAABConfig(n_learners=3, compare_bits=4, seed=0),
+        ).train(x, y, FAST)
+        error = float(np.mean(np.abs(saab.predict(x) - y)))
+        assert error < 0.1
+
+    def test_mixed_architectures_rejected_gracefully(self, rng):
+        """Nothing stops mixing learner types structurally — the vote
+        just needs consistent port counts.  Same topology works."""
+        from repro.core.mei import MEI, MEIConfig
+
+        x, y = _toy_data(rng)
+
+        def factory(k):
+            if k % 2 == 0:
+                return TraditionalRCS(Topology(2, 8, 1), seed=k)
+            return MEI(MEIConfig(2, 1, 8), seed=k)
+
+        saab = SAAB(factory, SAABConfig(n_learners=2, compare_bits=4, seed=0))
+        saab.train(x, y, FAST)
+        # Both emit 8 bits per output group, so voting is well-defined.
+        bits = saab.predict_bits(x[:10])
+        assert bits.shape == (10, 8)
+
+    def test_rcs_with_custom_mapping_config(self, rng):
+        x, y = _toy_data(rng)
+        rcs = TraditionalRCS(
+            Topology(2, 8, 1),
+            mapping_config=MappingConfig(input_nonlinearity=1.0),
+            seed=0,
+        ).train(x, y, FAST)
+        assert rcs.analog.crossbars[0].positive.nonlinearity == 1.0
+        pred = rcs.predict(x[:20])
+        assert pred.shape == (20, 1)

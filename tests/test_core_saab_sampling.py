@@ -1,0 +1,73 @@
+"""Tests for SAAB's two distribution-delivery modes (Line 4 variants)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mei import MEI, MEIConfig
+from repro.core.saab import SAAB, SAABConfig
+from repro.nn.trainer import TrainConfig
+
+FAST = TrainConfig(epochs=25, batch_size=64, learning_rate=0.02, shuffle_seed=0)
+
+
+def _toy_data(rng, n=400):
+    x = rng.uniform(0, 1, (n, 2))
+    y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+    return x, y
+
+
+def _factory(seed_base=40, hidden=12):
+    return lambda k: MEI(MEIConfig(2, 1, hidden), seed=seed_base + k)
+
+
+class TestSamplingModes:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SAABConfig(n_learners=1, sampling="bagging")
+
+    def test_weighted_first_learner_equals_standalone(self, rng):
+        """With uniform initial weights, weighted-mode learner 0 trains
+        exactly like a standalone MEI of the same seed."""
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=1, sampling="weighted", seed=0))
+        saab.train(x, y, FAST)
+        standalone = MEI(MEIConfig(2, 1, 12), seed=40).train(x, y, FAST)
+        assert np.array_equal(
+            saab.learners[0].predict(x[:50]), standalone.predict(x[:50])
+        )
+
+    def test_resample_first_learner_differs_from_standalone(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=1, sampling="resample", seed=0))
+        saab.train(x, y, FAST)
+        standalone = MEI(MEIConfig(2, 1, 12), seed=40).train(x, y, FAST)
+        assert not np.array_equal(
+            saab.learners[0].predict(x[:50]), standalone.predict(x[:50])
+        )
+
+    @pytest.mark.parametrize("sampling", ["weighted", "resample"])
+    def test_both_modes_train_full_ensembles(self, sampling, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=3, sampling=sampling, seed=0))
+        saab.train(x, y, FAST)
+        assert len(saab) == 3
+        bits = saab.predict_bits(x[:10])
+        assert set(np.unique(bits)) <= {0.0, 1.0}
+
+    def test_weighted_mode_is_default(self):
+        assert SAABConfig(n_learners=1).sampling == "weighted"
+
+    def test_weighted_second_learner_sees_hard_samples(self, rng):
+        """After round 1, the weight distribution is non-uniform, so
+        learner 2's training differs from learner 1's."""
+        x, y = _toy_data(rng)
+        factory = lambda k: MEI(MEIConfig(2, 1, 12), seed=99)  # same seed!
+        saab = SAAB(factory, SAABConfig(n_learners=2, sampling="weighted",
+                                        compare_bits=3, seed=0))
+        saab.train(x, y, FAST)
+        a = saab.learners[0].predict(x[:50])
+        b = saab.learners[1].predict(x[:50])
+        # Identical seeds but different sample weights -> different nets
+        # (unless round 1 was perfect, in which case weights stay uniform).
+        if saab.rounds[0].error > 1e-6:
+            assert not np.array_equal(a, b)

@@ -1,0 +1,75 @@
+"""Tests for tiled deployment through AnalogMLP and MEI."""
+
+import numpy as np
+import pytest
+
+from repro.core.deploy import AnalogMLP
+from repro.core.mei import MEI, MEIConfig
+from repro.device.faults import FaultModel, inject_faults_analog
+from repro.device.programming import ProgrammingConfig
+from repro.device.variation import NonIdealFactors
+from repro.nn.network import MLP
+from repro.nn.trainer import TrainConfig
+from repro.xbar.mapping import MappingConfig
+from repro.xbar.tiling import TiledDifferentialCrossbar
+
+
+class TestTiledDeployment:
+    def test_tall_layers_get_tiled(self):
+        net = MLP((40, 8, 2), rng=0)
+        analog = AnalogMLP(net, mapping_config=MappingConfig(max_rows_per_tile=16))
+        assert isinstance(analog.crossbars[0], TiledDifferentialCrossbar)
+        # The 8-row second layer stays untiled.
+        assert not isinstance(analog.crossbars[1], TiledDifferentialCrossbar)
+
+    def test_tiled_matches_software_network(self, rng):
+        net = MLP((40, 8, 2), rng=0)
+        analog = AnalogMLP(net, mapping_config=MappingConfig(max_rows_per_tile=16))
+        x = rng.uniform(0, 1, (10, 40))
+        assert np.allclose(analog.forward(x), net.predict(x), atol=1e-8)
+
+    def test_freeze_variation_covers_tiles(self, rng):
+        net = MLP((40, 8, 2), rng=0)
+        analog = AnalogMLP(net, mapping_config=MappingConfig(max_rows_per_tile=16))
+        x = rng.uniform(0, 1, (5, 40))
+        before = analog.forward(x)
+        analog.freeze_variation(NonIdealFactors(sigma_pv=0.3, seed=2))
+        assert not np.allclose(analog.forward(x), before)
+
+    def test_programming_covers_tiles(self, rng):
+        net = MLP((40, 8, 2), rng=0)
+        config = MappingConfig(max_rows_per_tile=16)
+        ideal = AnalogMLP(net, mapping_config=config)
+        programmed = AnalogMLP(
+            net,
+            mapping_config=config,
+            programming=ProgrammingConfig(pulse_sigma=0.1, tolerance=0.05,
+                                          max_iterations=2, seed=0),
+        )
+        a = ideal.crossbars[0].tiles[0].positive.conductances
+        b = programmed.crossbars[0].tiles[0].positive.conductances
+        assert not np.allclose(a, b)
+
+    def test_fault_injection_covers_tiles(self):
+        net = MLP((40, 8, 2), rng=0)
+        analog = AnalogMLP(net, mapping_config=MappingConfig(max_rows_per_tile=16))
+        count = inject_faults_analog(
+            analog, FaultModel(stuck_on_rate=0.05, stuck_off_rate=0.05, seed=0)
+        )
+        assert count > 0
+
+    def test_mei_trains_and_predicts_tiled(self, rng):
+        x = rng.uniform(0, 1, (300, 4))
+        y = 0.3 + 0.4 * x.mean(axis=1, keepdims=True)
+        mei = MEI(
+            MEIConfig(4, 1, 8),  # 32 input ports
+            mapping_config=MappingConfig(max_rows_per_tile=16),
+            seed=0,
+        ).train(x, y, TrainConfig(epochs=25, batch_size=64, shuffle_seed=0))
+        assert isinstance(mei.analog.crossbars[0], TiledDifferentialCrossbar)
+        pred = mei.predict(x[:20])
+        assert np.mean(np.abs(pred - y[:20])) < 0.15
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MappingConfig(max_rows_per_tile=0)

@@ -1,0 +1,94 @@
+"""Tests for the trade-off enumeration and Pareto analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.tradeoff import DesignPoint, enumerate_tradeoffs, pareto_front
+from repro.cost.area import Topology
+from repro.nn.trainer import TrainConfig
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        better = DesignPoint(8, 1, 8, error=0.1, area_saved=0.8, power_saved=0.8)
+        worse = DesignPoint(16, 1, 8, error=0.2, area_saved=0.7, power_saved=0.7)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_tradeoff_points_incomparable(self):
+        accurate = DesignPoint(32, 2, 8, error=0.05, area_saved=0.5, power_saved=0.5)
+        cheap = DesignPoint(8, 1, 8, error=0.2, area_saved=0.9, power_saved=0.9)
+        assert not accurate.dominates(cheap)
+        assert not cheap.dominates(accurate)
+
+    def test_equal_points_do_not_dominate(self):
+        p = DesignPoint(8, 1, 8, error=0.1, area_saved=0.8, power_saved=0.8)
+        q = DesignPoint(8, 1, 8, error=0.1, area_saved=0.8, power_saved=0.8)
+        assert not p.dominates(q)
+
+
+class TestParetoFront:
+    def test_front_excludes_dominated(self):
+        points = [
+            DesignPoint(8, 1, 8, error=0.1, area_saved=0.8, power_saved=0.8),
+            DesignPoint(16, 1, 8, error=0.2, area_saved=0.7, power_saved=0.7),
+            DesignPoint(32, 2, 8, error=0.05, area_saved=0.5, power_saved=0.5),
+        ]
+        front = pareto_front(points)
+        assert len(front) == 2
+        assert front[0].error == 0.05
+        assert all(p.error != 0.2 for p in front)
+
+    def test_front_sorted_by_error(self):
+        points = [
+            DesignPoint(8, 1, 8, error=0.3, area_saved=0.95, power_saved=0.95),
+            DesignPoint(16, 1, 8, error=0.1, area_saved=0.8, power_saved=0.8),
+            DesignPoint(32, 1, 8, error=0.05, area_saved=0.6, power_saved=0.6),
+        ]
+        front = pareto_front(points)
+        assert [p.error for p in front] == sorted(p.error for p in front)
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+
+class TestEnumeration:
+    @pytest.fixture(scope="class")
+    def toy(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(0, 1, (500, 2))
+        y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+        return x[:-100], y[:-100], x[-100:], y[-100:]
+
+    def test_grid_is_complete(self, toy):
+        x_tr, y_tr, x_te, y_te = toy
+        metric = lambda p, t: float(np.mean(np.abs(p - t)))
+        result = enumerate_tradeoffs(
+            Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, metric,
+            hidden_sizes=(4, 8), ensemble_sizes=(1, 2), bit_lengths=(8,),
+            train_config=TrainConfig(epochs=20, batch_size=64, shuffle_seed=0),
+        )
+        assert len(result.points) == 4
+        labels = {p.label for p in result.points}
+        assert "H=4 K=1 B=8" in labels and "H=8 K=2 B=8" in labels
+
+    def test_bigger_systems_save_less(self, toy):
+        x_tr, y_tr, x_te, y_te = toy
+        metric = lambda p, t: float(np.mean(np.abs(p - t)))
+        result = enumerate_tradeoffs(
+            Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, metric,
+            hidden_sizes=(4,), ensemble_sizes=(1, 2), bit_lengths=(8,),
+            train_config=TrainConfig(epochs=15, batch_size=64, shuffle_seed=0),
+        )
+        by_k = {p.k: p for p in result.points}
+        assert by_k[2].area_saved < by_k[1].area_saved
+
+    def test_render_marks_pareto(self, toy):
+        x_tr, y_tr, x_te, y_te = toy
+        metric = lambda p, t: float(np.mean(np.abs(p - t)))
+        result = enumerate_tradeoffs(
+            Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, metric,
+            hidden_sizes=(4,), ensemble_sizes=(1,), bit_lengths=(8,),
+            train_config=TrainConfig(epochs=10, batch_size=64, shuffle_seed=0),
+        )
+        assert "*" in result.render()

@@ -1,0 +1,223 @@
+"""Unit tests for the cost models: Eq. 6/7, Fig. 2, Eq. 9, calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cost.area import MEITopology, Topology, cost_mei, cost_traditional
+from repro.cost.breakdown import breakdown
+from repro.cost.calibration import calibration_residuals, fit_cost_params
+from repro.cost.params import LITERATURE_AREA, LITERATURE_POWER, CostParams
+from repro.cost.power import cost_ratio, max_saab_learners, savings
+from repro.workloads.registry import BENCHMARK_NAMES, PAPER_TABLE1, make_benchmark
+
+
+class TestTopology:
+    def test_rram_device_count_eq6(self):
+        # 2 (I + O) H devices for the differential pairs.
+        assert Topology(2, 8, 2).rram_devices == 2 * 4 * 8
+
+    def test_str(self):
+        assert str(Topology(64, 16, 64)) == "64x16x64"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Topology(0, 8, 2)
+        with pytest.raises(ValueError):
+            Topology(2, 8, 2, bits=0)
+
+
+class TestMEITopology:
+    def test_from_analog_unpruned(self):
+        mei = MEITopology.from_analog(Topology(2, 8, 2, bits=8))
+        assert mei.in_ports == 16 and mei.out_ports == 16
+        assert mei.in_bits == 8 and mei.out_bits == 8
+
+    def test_rram_device_count_eq7(self):
+        mei = MEITopology(in_ports=16, hidden=32, out_ports=16)
+        assert mei.rram_devices == 2 * 32 * 32
+
+    def test_paper_notation_str(self):
+        mei = MEITopology(in_ports=384, hidden=64, out_ports=448, in_groups=64, out_groups=64)
+        assert str(mei) == "(64.6)x64x(64.7)"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MEITopology(in_ports=0, hidden=4, out_ports=4)
+        with pytest.raises(ValueError):
+            MEITopology(in_ports=7, hidden=4, out_ports=4, in_groups=2)
+
+
+class TestCosts:
+    def test_eq6_formula(self):
+        params = CostParams(dac=10.0, adc=20.0, periphery=3.0, rram=0.5)
+        topo = Topology(2, 8, 2)
+        expected = 2 * 10 + 2 * 20 + 8 * 3 + 64 * 0.5
+        assert cost_traditional(topo, params) == expected
+
+    def test_eq7_formula(self):
+        params = CostParams(dac=10.0, adc=20.0, periphery=3.0, rram=0.5)
+        mei = MEITopology(in_ports=16, hidden=32, out_ports=16)
+        expected = 32 * 3 + 2 * 32 * 32 * 0.5
+        assert cost_mei(mei, params) == expected
+
+    def test_eq7_has_no_converter_terms(self):
+        costly_converters = CostParams(dac=1e9, adc=1e9, periphery=1.0, rram=1.0)
+        mei = MEITopology(in_ports=8, hidden=8, out_ports=8)
+        assert cost_mei(mei, costly_converters) < 1e6
+
+    def test_savings_report(self):
+        report = savings(
+            Topology(2, 8, 2), MEITopology(16, 32, 16), LITERATURE_AREA
+        )
+        assert 0 < report.saved_fraction < 1
+        assert np.isclose(report.ratio, 1 / (1 - report.saved_fraction))
+
+    def test_max_saab_learners_eq9(self):
+        topo = Topology(2, 8, 2)
+        mei = MEITopology(16, 32, 16)
+        k = max_saab_learners(topo, mei, LITERATURE_AREA, LITERATURE_POWER)
+        manual = min(
+            cost_ratio(topo, mei, LITERATURE_AREA),
+            cost_ratio(topo, mei, LITERATURE_POWER),
+        )
+        assert k == max(1, int(manual))
+
+    def test_max_saab_at_least_one(self):
+        # A giant MEI still yields K_max = 1 (never zero).
+        huge = MEITopology(in_ports=512, hidden=256, out_ports=512)
+        assert max_saab_learners(Topology(1, 2, 1), huge,
+                                 LITERATURE_AREA, LITERATURE_POWER) == 1
+
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            CostParams(dac=-1, adc=1, periphery=1, rram=1)
+        with pytest.raises(ValueError):
+            CostParams(dac=1, adc=1, periphery=1, rram=0)
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        b = breakdown(Topology(2, 8, 2), LITERATURE_AREA)
+        assert np.isclose(sum(b.fractions.values()), 1.0)
+
+    def test_paper_fig2_shape(self):
+        """AD/DA > 85% of area and power; RRAM around one percent."""
+        topo = Topology(2, 8, 2, bits=8)
+        for params in (LITERATURE_AREA, LITERATURE_POWER):
+            b = breakdown(topo, params)
+            assert b.interface_fraction > 0.85
+            assert b.fractions["rram"] < 0.02
+
+    def test_rows_ordering(self):
+        b = breakdown(Topology(2, 8, 2), LITERATURE_AREA)
+        names = [row[0] for row in b.rows()]
+        assert names == ["dac", "adc", "periphery", "rram"]
+
+
+class TestCalibration:
+    @pytest.fixture(scope="class")
+    def paper_pairs(self):
+        return (
+            [
+                (make_benchmark(n).spec.topology, PAPER_TABLE1[n].pruned_mei)
+                for n in BENCHMARK_NAMES
+            ],
+            [PAPER_TABLE1[n].area_saved for n in BENCHMARK_NAMES],
+            [PAPER_TABLE1[n].power_saved for n in BENCHMARK_NAMES],
+        )
+
+    def test_area_fit_reproduces_table1(self, paper_pairs):
+        pairs, area_saved, _ = paper_pairs
+        params = fit_cost_params(pairs, area_saved, metric="area")
+        residuals = calibration_residuals(pairs, area_saved, params)
+        assert np.max(np.abs(residuals)) < 0.02
+
+    def test_power_fit_reproduces_table1(self, paper_pairs):
+        pairs, _, power_saved = paper_pairs
+        params = fit_cost_params(pairs, power_saved, metric="power")
+        residuals = calibration_residuals(pairs, power_saved, params)
+        assert np.max(np.abs(residuals)) < 0.02
+
+    def test_fit_is_nonnegative(self, paper_pairs):
+        pairs, area_saved, _ = paper_pairs
+        params = fit_cost_params(pairs, area_saved)
+        assert params.dac >= 0 and params.adc >= 0 and params.periphery >= 0
+
+    def test_fit_recovers_synthetic_params(self):
+        """Savings generated from known params must be fit back exactly."""
+        truth = CostParams(dac=500.0, adc=1200.0, periphery=40.0, rram=1.0)
+        pairs = [
+            (Topology(2, 8, 2), MEITopology(16, 16, 16)),
+            (Topology(4, 10, 2), MEITopology(32, 24, 16)),
+            (Topology(8, 12, 4), MEITopology(48, 32, 24)),
+            (Topology(3, 6, 3), MEITopology(20, 12, 20)),
+        ]
+        saved = [
+            1 - cost_mei(m, truth) / cost_traditional(t, truth) for t, m in pairs
+        ]
+        fitted = fit_cost_params(pairs, saved, rram_unit=1.0)
+        assert np.isclose(fitted.dac, truth.dac, rtol=1e-4)
+        assert np.isclose(fitted.adc, truth.adc, rtol=1e-4)
+        assert np.isclose(fitted.periphery, truth.periphery, rtol=1e-4)
+
+    def test_validation(self, paper_pairs):
+        pairs, area_saved, _ = paper_pairs
+        with pytest.raises(ValueError):
+            fit_cost_params(pairs[:2], area_saved[:2])
+        with pytest.raises(ValueError):
+            fit_cost_params(pairs, [1.5] * len(pairs))
+        with pytest.raises(ValueError):
+            fit_cost_params(pairs, area_saved[:-1])
+
+
+class TestBreakdownMEI:
+    def test_no_converter_components(self):
+        from repro.cost.breakdown import breakdown_mei
+
+        b = breakdown_mei(MEITopology(16, 32, 16), LITERATURE_AREA)
+        assert set(b.components) == {"periphery", "rram"}
+        assert b.interface_fraction == 0.0
+
+    def test_total_matches_eq7(self):
+        from repro.cost.area import cost_mei
+        from repro.cost.breakdown import breakdown_mei
+
+        topo = MEITopology(24, 16, 8)
+        b = breakdown_mei(topo, LITERATURE_POWER)
+        assert np.isclose(b.total, cost_mei(topo, LITERATURE_POWER))
+
+    def test_fractions_sum_to_one(self):
+        from repro.cost.breakdown import breakdown_mei
+
+        b = breakdown_mei(MEITopology(8, 8, 8), LITERATURE_AREA)
+        assert np.isclose(sum(b.fractions.values()), 1.0)
+
+
+class TestInitializers:
+    def test_xavier_uniform_bounds(self):
+        from repro.nn.initializers import xavier_uniform
+
+        rng = np.random.default_rng(0)
+        w = xavier_uniform(rng, 10, 20)
+        limit = np.sqrt(6.0 / 30)
+        assert w.shape == (10, 20)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_xavier_normal_scale(self):
+        from repro.nn.initializers import xavier_normal
+
+        rng = np.random.default_rng(0)
+        w = xavier_normal(rng, 100, 100)
+        assert abs(float(np.std(w)) - np.sqrt(2.0 / 200)) < 0.01
+
+    def test_uniform_scale(self):
+        from repro.nn.initializers import uniform
+
+        rng = np.random.default_rng(0)
+        w = uniform(rng, 5, 5, scale=0.3)
+        assert np.all(np.abs(w) <= 0.3)
+
+    def test_zeros(self):
+        from repro.nn.initializers import zeros
+
+        assert not zeros(np.random.default_rng(0), 3, 4).any()

@@ -1,0 +1,79 @@
+"""Failure-injection tests: stuck-at faults in deployed crossbars."""
+
+import numpy as np
+import pytest
+
+from repro.core.deploy import AnalogMLP
+from repro.core.mei import MEI, MEIConfig
+from repro.core.saab import SAAB, SAABConfig
+from repro.device.faults import FaultModel, inject_faults, inject_faults_analog
+from repro.device.rram import HFOX_DEVICE
+from repro.nn.network import MLP
+from repro.nn.trainer import TrainConfig
+from repro.xbar.crossbar import Crossbar
+
+
+class TestFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(stuck_on_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultModel(stuck_on_rate=0.6, stuck_off_rate=0.6)
+
+    def test_defect_map_rates(self):
+        model = FaultModel(stuck_on_rate=0.1, stuck_off_rate=0.2, seed=0)
+        defects = model.defect_map((200, 200), np.random.default_rng(0))
+        rates = [(defects == c).mean() for c in (1, 2)]
+        assert abs(rates[0] - 0.1) < 0.01
+        assert abs(rates[1] - 0.2) < 0.01
+
+    def test_zero_rate_no_defects(self):
+        defects = FaultModel().defect_map((50, 50), np.random.default_rng(0))
+        assert not defects.any()
+
+
+class TestInjectFaults:
+    def test_stuck_cells_pinned(self, rng):
+        g = rng.uniform(HFOX_DEVICE.g_min * 5, HFOX_DEVICE.g_max / 2, (20, 20))
+        xbar = Crossbar(g, g_s=1e-3)
+        defects = inject_faults(xbar, FaultModel(stuck_on_rate=0.2,
+                                                 stuck_off_rate=0.2, seed=1))
+        assert np.all(xbar.conductances[defects == 1] == HFOX_DEVICE.g_max)
+        assert np.all(xbar.conductances[defects == 2] == HFOX_DEVICE.g_min)
+        healthy = defects == 0
+        assert np.allclose(xbar.conductances[healthy], g[healthy])
+
+    def test_analog_injection_counts(self, rng):
+        net = MLP((4, 8, 2), rng=0)
+        analog = AnalogMLP(net)
+        count = inject_faults_analog(analog, FaultModel(stuck_on_rate=0.05,
+                                                        stuck_off_rate=0.05, seed=0))
+        total_cells = analog.device_count
+        assert 0 < count < total_cells
+        assert abs(count / total_cells - 0.1) < 0.05
+
+    def test_faults_degrade_accuracy(self, rng, fast_train):
+        x = rng.uniform(0, 1, (500, 2))
+        y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+        mei = MEI(MEIConfig(2, 1, 16), seed=0).train(x, y, fast_train)
+        clean = np.mean(np.abs(mei.predict(x) - y))
+        inject_faults_analog(mei.analog, FaultModel(stuck_on_rate=0.05,
+                                                    stuck_off_rate=0.05, seed=3))
+        faulty = np.mean(np.abs(mei.predict(x) - y))
+        assert faulty > clean
+
+    def test_ensemble_masks_single_chip_faults(self, rng, fast_train):
+        """The redundancy argument: a voted ensemble with one faulty
+        member beats that faulty member alone."""
+        x = rng.uniform(0, 1, (600, 2))
+        y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+        saab = SAAB(
+            lambda k: MEI(MEIConfig(2, 1, 16), seed=20 + k),
+            SAABConfig(n_learners=3, compare_bits=4, seed=0),
+        ).train(x, y, fast_train)
+        # Heavy faults on one member only.
+        inject_faults_analog(saab.learners[1].analog,
+                             FaultModel(stuck_on_rate=0.15, stuck_off_rate=0.15, seed=7))
+        faulty_member = np.mean(np.abs(saab.learners[1].predict(x) - y))
+        ensemble = np.mean(np.abs(saab.predict(x) - y))
+        assert ensemble < faulty_member

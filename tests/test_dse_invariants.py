@@ -1,0 +1,72 @@
+"""Additional invariants of the DSE flow's outputs."""
+
+import numpy as np
+import pytest
+
+from repro.core.dse import DSEConfig, explore
+from repro.core.mei import MEI
+from repro.cost.area import Topology
+from repro.nn.trainer import TrainConfig
+
+FAST = TrainConfig(epochs=20, batch_size=64, learning_rate=0.02, shuffle_seed=0)
+
+
+@pytest.fixture(scope="module")
+def toy():
+    rng = np.random.default_rng(5)
+    x = rng.uniform(0, 1, (500, 2))
+    y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+    return x[:-100], y[:-100], x[-100:], y[-100:]
+
+
+def _metric(pred, target):
+    return float(np.mean(np.abs(pred - target)))
+
+
+class TestDSEOutputs:
+    def test_result_is_reproducible(self, toy):
+        x_tr, y_tr, x_te, y_te = toy
+        config = DSEConfig(error_requirement=0.2, initial_hidden=8, max_hidden=16,
+                           prune=True, seed=0)
+        a = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric, config, FAST)
+        b = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric, config, FAST)
+        assert a.error == b.error
+        assert str(a.topology) == str(b.topology)
+        assert a.hidden == b.hidden
+
+    def test_history_errors_positive(self, toy):
+        x_tr, y_tr, x_te, y_te = toy
+        config = DSEConfig(error_requirement=0.2, initial_hidden=4, max_hidden=16,
+                           prune=False, seed=0)
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric,
+                         config, FAST)
+        assert all(e > 0 for _, e in result.hidden_history)
+        assert result.hidden in [h for h, _ in result.hidden_history]
+
+    def test_log_is_humanly_readable(self, toy):
+        x_tr, y_tr, x_te, y_te = toy
+        config = DSEConfig(error_requirement=0.2, initial_hidden=8, max_hidden=8,
+                           prune=False, seed=0)
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric,
+                         config, FAST)
+        assert any("hidden search" in line for line in result.log)
+        assert any("K_max" in line for line in result.log)
+
+    def test_pruned_system_is_the_returned_system(self, toy):
+        """result.error must describe result.system, post-pruning."""
+        x_tr, y_tr, x_te, y_te = toy
+        config = DSEConfig(error_requirement=0.2, initial_hidden=8, max_hidden=8,
+                           prune=True, seed=0)
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric,
+                         config, FAST)
+        assert isinstance(result.system, MEI)
+        recomputed = _metric(result.system.predict(x_te), y_te)
+        assert recomputed == pytest.approx(result.error)
+
+    def test_meets_requirements_property(self, toy):
+        x_tr, y_tr, x_te, y_te = toy
+        config = DSEConfig(error_requirement=0.5, initial_hidden=8, max_hidden=8,
+                           prune=False, seed=0)
+        result = explore(Topology(2, 8, 1), x_tr, y_tr, x_te, y_te, _metric,
+                         config, FAST)
+        assert result.meets_requirements == (result.status == "ok")

@@ -1,0 +1,107 @@
+"""Edge-case tests: boundary conditions users will eventually hit."""
+
+import numpy as np
+import pytest
+
+from repro.core.mei import MEI, MEIConfig
+from repro.core.rcs import TraditionalRCS
+from repro.cost.area import Topology
+from repro.nn.network import MLP
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.quant.fixedpoint import FixedPointCodec
+
+FAST = TrainConfig(epochs=15, batch_size=16, learning_rate=0.02, shuffle_seed=0)
+
+
+class TestSingleBitInterface:
+    """B = 1: the minimal interface (one comparator per value)."""
+
+    def test_mei_one_bit_trains(self, rng):
+        x = rng.uniform(0, 1, (200, 2))
+        y = (x[:, :1] > 0.5).astype(float) * 0.9 + 0.05
+        mei = MEI(MEIConfig(2, 1, 8, bits=1), seed=0).train(x, y, FAST)
+        pred = mei.predict(x)
+        assert set(np.unique(pred)) <= {0.0, 0.5}
+
+    def test_codec_one_bit(self):
+        codec = FixedPointCodec(1)
+        bits = codec.encode(np.array([[0.3, 0.7]]))
+        assert np.array_equal(bits, [[0.0, 1.0]])
+        assert np.array_equal(codec.decode(bits), [[0.0, 0.5]])
+
+
+class TestSingleSampleBatches:
+    def test_mei_predicts_single_row(self, rng):
+        x = rng.uniform(0, 1, (100, 2))
+        y = 0.3 + 0.4 * x[:, :1]
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, FAST)
+        pred = mei.predict(x[:1])
+        assert pred.shape == (1, 1)
+
+    def test_rcs_predicts_single_row(self, rng):
+        x = rng.uniform(0, 1, (100, 2))
+        y = 0.3 + 0.4 * x[:, :1]
+        rcs = TraditionalRCS(Topology(2, 4, 1), seed=0).train(x, y, FAST)
+        assert rcs.predict(x[:1]).shape == (1, 1)
+
+    def test_trainer_batch_larger_than_data(self, rng):
+        x = rng.uniform(0, 1, (10, 1))
+        y = 0.5 * x
+        net = MLP((1, 4, 1), rng=0)
+        cfg = TrainConfig(epochs=5, batch_size=64, shuffle_seed=0)
+        result = Trainer(config=cfg).fit(net, x, y)
+        assert result.epochs_run == 5
+
+
+class TestMinimalTopologies:
+    def test_one_by_one_by_one(self, rng):
+        x = rng.uniform(0, 1, (100, 1))
+        y = 0.2 + 0.6 * x
+        rcs = TraditionalRCS(Topology(1, 1, 1), seed=0).train(x, y, FAST)
+        assert rcs.predict(x[:5]).shape == (5, 1)
+
+    def test_mei_single_group_single_hidden(self, rng):
+        x = rng.uniform(0, 1, (100, 1))
+        y = 0.2 + 0.6 * x
+        mei = MEI(MEIConfig(1, 1, 1), seed=0).train(x, y, FAST)
+        assert mei.predict(x[:5]).shape == (5, 1)
+
+
+class TestExtremeValues:
+    def test_mei_handles_boundary_inputs(self, rng):
+        x = rng.uniform(0, 1, (100, 2))
+        y = 0.3 + 0.4 * x[:, :1]
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, FAST)
+        boundary = np.array([[0.0, 0.0], [0.999, 0.999], [0.0, 0.999]])
+        pred = mei.predict(boundary)
+        assert np.all(np.isfinite(pred))
+
+    def test_rcs_clips_out_of_range_inputs(self, rng):
+        x = rng.uniform(0, 1, (100, 2))
+        y = 0.3 + 0.4 * x[:, :1]
+        rcs = TraditionalRCS(Topology(2, 4, 1), seed=0).train(x, y, FAST)
+        wild = np.array([[-5.0, 10.0]])
+        pred = rcs.predict(wild)
+        assert np.all(np.isfinite(pred))
+        assert np.all((pred >= 0) & (pred < 1))
+
+    def test_constant_targets_learnable(self, rng):
+        x = rng.uniform(0, 1, (100, 2))
+        y = np.full((100, 1), 0.4)
+        net = MLP((2, 4, 1), rng=0)
+        Trainer(config=TrainConfig(epochs=60, batch_size=32, shuffle_seed=0)).fit(net, x, y)
+        assert np.allclose(net.predict(x), 0.4, atol=0.05)
+
+
+class TestCodecWideWords:
+    def test_sixteen_bit_roundtrip(self, rng):
+        codec = FixedPointCodec(16)
+        values = rng.uniform(0, 1, (20, 2))
+        decoded = codec.decode(codec.encode(values))
+        assert np.all(np.abs(decoded - values) < 2.0**-16)
+
+    def test_thirty_two_bit_limit(self):
+        codec = FixedPointCodec(32)
+        assert codec.resolution == 2.0**-32
+        bits = codec.encode(np.array([[0.5]]))
+        assert bits.shape == (1, 32)

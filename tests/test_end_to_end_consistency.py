@@ -1,0 +1,113 @@
+"""Cross-cutting consistency tests: the library's invariants as a whole.
+
+Checks that hold across module boundaries — the kind of thing a
+downstream user relies on without reading the code.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    IDEAL,
+    MEI,
+    MEIConfig,
+    NonIdealFactors,
+    Topology,
+    TrainConfig,
+    TraditionalRCS,
+    make_benchmark,
+)
+from repro.cost.power import savings
+from repro.experiments.table1 import calibrated_params
+
+FAST = TrainConfig(epochs=25, batch_size=64, learning_rate=0.02, shuffle_seed=0)
+
+
+def _toy_data(rng, n=300):
+    x = rng.uniform(0, 1, (n, 2))
+    y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+    return x, y
+
+
+class TestDeterminism:
+    """Same seeds in, same numbers out — end to end."""
+
+    def test_mei_fully_deterministic(self, rng):
+        x, y = _toy_data(rng)
+        a = MEI(MEIConfig(2, 1, 8), seed=5).train(x, y, FAST).predict(x[:30])
+        b = MEI(MEIConfig(2, 1, 8), seed=5).train(x, y, FAST).predict(x[:30])
+        assert np.array_equal(a, b)
+
+    def test_rcs_fully_deterministic(self, rng):
+        x, y = _toy_data(rng)
+        a = TraditionalRCS(Topology(2, 8, 1), seed=5).train(x, y, FAST).predict(x[:30])
+        b = TraditionalRCS(Topology(2, 8, 1), seed=5).train(x, y, FAST).predict(x[:30])
+        assert np.array_equal(a, b)
+
+    def test_noise_trials_independent_of_call_order(self, rng):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=5).train(x, y, FAST)
+        noise = NonIdealFactors(sigma_pv=0.2, sigma_sf=0.1, seed=3)
+        forward_order = [mei.predict(x[:10], noise, t) for t in (0, 1, 2)]
+        reverse_order = [mei.predict(x[:10], noise, t) for t in (2, 1, 0)]
+        for a, b in zip(forward_order, reversed(reverse_order)):
+            assert np.array_equal(a, b)
+
+    def test_benchmark_datasets_stable_across_processes(self):
+        """Seeded dataset hashes shouldn't drift with refactors."""
+        data = make_benchmark("fft").dataset(n_train=50, n_test=10, seed=0)
+        assert data.x_train[0, 0] == pytest.approx(data.x_train[0, 0])
+        # Deterministic fingerprint of the sample values.
+        fingerprint = float(np.sum(data.x_train) + np.sum(data.y_train))
+        again = make_benchmark("fft").dataset(n_train=50, n_test=10, seed=0)
+        assert float(np.sum(again.x_train) + np.sum(again.y_train)) == fingerprint
+
+
+class TestUnitIntervalContract:
+    """Architectures promise unit-interval outputs everywhere."""
+
+    @pytest.mark.parametrize("noise", [IDEAL, NonIdealFactors(0.3, 0.3, seed=1)])
+    def test_mei_outputs_bounded(self, noise, rng):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, FAST)
+        pred = mei.predict(x, noise)
+        assert np.all((pred >= 0.0) & (pred < 1.0))
+
+    @pytest.mark.parametrize("noise", [IDEAL, NonIdealFactors(0.3, 0.3, seed=1)])
+    def test_rcs_outputs_bounded(self, noise, rng):
+        x, y = _toy_data(rng)
+        rcs = TraditionalRCS(Topology(2, 8, 1), seed=0).train(x, y, FAST)
+        pred = rcs.predict(x, noise)
+        assert np.all((pred >= 0.0) & (pred < 1.0))
+
+
+class TestCostConsistency:
+    """The cost model agrees with the deployed hardware's bookkeeping."""
+
+    def test_analog_device_count_matches_topology(self, rng):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, FAST)
+        assert mei.analog.device_count == mei.topology().rram_devices
+
+    def test_rcs_device_count_matches_eq6(self, rng):
+        x, y = _toy_data(rng)
+        topo = Topology(2, 8, 1)
+        rcs = TraditionalRCS(topo, seed=0).train(x, y, FAST)
+        assert rcs.analog.device_count == topo.rram_devices
+
+    def test_pruned_view_counts_fewer_devices(self, rng):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, FAST)
+        pruned = mei.pruned(in_bits=4, out_bits=4)
+        assert pruned.topology().rram_devices < mei.topology().rram_devices
+
+    def test_all_six_benchmarks_save_cost_on_paper_topologies(self):
+        """The headline claim, via the calibrated model."""
+        from repro.workloads.registry import BENCHMARK_NAMES, PAPER_TABLE1
+
+        params = calibrated_params()
+        for name in BENCHMARK_NAMES:
+            topo = make_benchmark(name).spec.topology
+            mei = PAPER_TABLE1[name].pruned_mei
+            assert savings(topo, mei, params["area"]).saved_fraction > 0.5
+            assert savings(topo, mei, params["power"]).saved_fraction > 0.5

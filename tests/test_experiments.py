@@ -1,0 +1,151 @@
+"""Tests for the experiment harnesses (tiny scales, shape checks only)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.runner import (
+    FULL_SCALE,
+    QUICK_SCALE,
+    ExperimentScale,
+    default_scale,
+    format_table,
+    train_config,
+)
+from repro.experiments.table1 import calibrated_params, run_benchmark_row
+
+TINY = ExperimentScale(name="tiny", n_train=400, n_test=100, epochs=25, noise_trials=2)
+
+
+class TestRunner:
+    def test_scales_valid(self):
+        assert QUICK_SCALE.n_train < FULL_SCALE.n_train
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", n_train=0, n_test=1, epochs=1, noise_trials=1)
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert default_scale() is QUICK_SCALE
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert default_scale() is FULL_SCALE
+
+    def test_train_config_sized_by_scale(self):
+        cfg = train_config(TINY, seed=3)
+        assert cfg.epochs == TINY.epochs
+        assert cfg.shuffle_seed == 3
+
+    def test_format_table(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 0.125]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "2.5000" in out and "0.1250" in out
+
+
+class TestFig2:
+    def test_matches_paper_shape(self):
+        result = run_fig2()
+        assert result.area.interface_fraction > 0.85
+        assert result.power.interface_fraction > 0.85
+        assert result.area.fractions["rram"] < 0.02
+        assert result.power.fractions["rram"] < 0.02
+
+    def test_render_contains_components(self):
+        text = run_fig2().render()
+        for component in ("dac", "adc", "periphery", "rram"):
+            assert component in text
+
+
+class TestFig3:
+    def test_sweep_structure(self):
+        result = run_fig3(hidden_sizes=(2, 4), scale=TINY, seed=0)
+        assert len(result.points) == 2
+        assert result.points[0].hidden == 2
+        assert all(p.error_adda > 0 for p in result.points)
+        assert "hidden" in result.render()
+
+    def test_weighted_loss_beats_plain_in_weak_training_regime(self):
+        """The Eq. 5 headline of Fig. 3.
+
+        The MSB-weighted loss wins when the training budget is small
+        (the paper's 2015 regime).  With a fully-converged Adam run the
+        plain loss catches up on smooth kernels — a deviation we
+        document in EXPERIMENTS.md and quantify in the loss-ablation
+        bench.
+        """
+        from repro.core.mei import MEI, MEIConfig
+        from repro.nn.trainer import TrainConfig
+        from repro.workloads.expfit import ExpFitBenchmark
+
+        bench = ExpFitBenchmark()
+        data = bench.dataset(n_train=1500, n_test=300, seed=0)
+        cfg = TrainConfig(epochs=10, batch_size=128, learning_rate=0.01, shuffle_seed=0)
+        errors = {}
+        for weighted in (False, True):
+            mei = MEI(MEIConfig(1, 1, 8, msb_weighted=weighted), seed=0)
+            mei.train(data.x_train, data.y_train, cfg)
+            errors[weighted] = bench.error_normalized(mei.predict(data.x_test), data.y_test)
+        assert errors[True] < errors[False]
+
+
+class TestTable1:
+    def test_calibrated_params_reproduce_savings(self):
+        from repro.cost.power import savings
+        from repro.workloads.registry import BENCHMARK_NAMES, PAPER_TABLE1, make_benchmark
+
+        params = calibrated_params()
+        for name in BENCHMARK_NAMES:
+            topo = make_benchmark(name).spec.topology
+            paper = PAPER_TABLE1[name]
+            area = savings(topo, paper.pruned_mei, params["area"]).saved_fraction
+            power = savings(topo, paper.pruned_mei, params["power"]).saved_fraction
+            assert abs(area - paper.area_saved) < 0.02
+            assert abs(power - paper.power_saved) < 0.02
+
+    def test_row_structure_sobel(self):
+        row = run_benchmark_row("sobel", TINY, seed=0)
+        assert row.name == "sobel"
+        assert 0 < row.error_mei < 1
+        assert 0 < row.error_adda < 1
+        assert row.pruned_topology.in_bits <= 8
+        assert 0 < row.area_saved_measured < 1
+        assert 0 < row.power_saved_measured < 1
+
+    def test_row_paper_reference_attached(self):
+        row = run_benchmark_row("fft", TINY, seed=0)
+        assert row.paper.name == "fft"
+        assert row.paper.area_saved == pytest.approx(0.7424)
+
+
+class TestFig4:
+    def test_single_benchmark_row(self):
+        result = run_fig4(names=("sobel",), scale=TINY, seed=0, max_k=2)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.k_used == 2
+        for acc in (row.accuracy_digital, row.accuracy_adda, row.accuracy_mei,
+                    row.accuracy_saab):
+            assert 0 <= acc <= 1
+        assert "SAAB" in result.render()
+
+
+class TestFig5:
+    def test_curve_structure(self):
+        result = run_fig5(names=("sobel",), sigmas=(0.0, 0.2), scale=TINY, seed=0, k=2)
+        # 4 systems x 2 noise types.
+        assert len(result.curves) == 8
+        curve = result.curve("sobel", "mei", "pv")
+        assert curve.sigmas == [0.0, 0.2]
+        assert len(curve.errors) == 2
+
+    def test_error_grows_with_noise(self):
+        result = run_fig5(names=("sobel",), sigmas=(0.0, 0.4), scale=TINY, seed=0, k=2)
+        curve = result.curve("sobel", "adda", "pv")
+        assert curve.errors[1] > curve.errors[0]
+
+    def test_unknown_curve_raises(self):
+        result = run_fig5(names=("sobel",), sigmas=(0.0,), scale=TINY, seed=0, k=2)
+        with pytest.raises(KeyError):
+            result.curve("sobel", "nonexistent", "pv")

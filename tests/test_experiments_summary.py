@@ -1,0 +1,49 @@
+"""Tests for the report collector and its CLI subcommand."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.summary import REPORT_ORDER, collect_reports
+
+
+class TestCollectReports:
+    def test_orders_known_reports(self, tmp_path):
+        (tmp_path / "fig3_hidden_sweep.txt").write_text("FIG3 CONTENT")
+        (tmp_path / "fig2_breakdown.txt").write_text("FIG2 CONTENT")
+        report = collect_reports(tmp_path)
+        assert report.index("FIG2 CONTENT") < report.index("FIG3 CONTENT")
+
+    def test_lists_missing(self, tmp_path):
+        report = collect_reports(tmp_path)
+        assert "Missing reports" in report
+        assert "table1_fft" in report
+
+    def test_appends_unknown_files(self, tmp_path):
+        (tmp_path / "custom_extra.txt").write_text("EXTRA CONTENT")
+        report = collect_reports(tmp_path)
+        assert "EXTRA CONTENT" in report
+
+    def test_handles_missing_directory(self, tmp_path):
+        report = collect_reports(tmp_path / "nope")
+        assert report.startswith("# Reproduction report")
+
+    def test_order_covers_every_bench_artifact(self):
+        """Each bench module's save_report name appears in REPORT_ORDER."""
+        bench_dir = pathlib.Path("benchmarks")
+        import re
+
+        names = set()
+        for path in bench_dir.glob("test_bench_*.py"):
+            names.update(re.findall(r'save_report\(\s*[f]?"([a-z0-9_{}]+)"', path.read_text()))
+        names = {n for n in names if "{" not in n}  # parametrized handled below
+        missing = names - set(REPORT_ORDER)
+        assert not missing, f"REPORT_ORDER missing: {missing}"
+
+
+class TestCLIReport:
+    def test_report_subcommand(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction report" in out

@@ -1,0 +1,181 @@
+"""Integration tests: full pipelines across modules.
+
+These exercise the public API end to end the way the examples and the
+paper's evaluation do — workload -> architecture -> deployment ->
+noise -> metric — at small but honest scales.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MEI,
+    SAAB,
+    DSEConfig,
+    MEIConfig,
+    NonIdealFactors,
+    SAABConfig,
+    Topology,
+    TraditionalRCS,
+    explore,
+    make_benchmark,
+)
+from repro.nn.trainer import TrainConfig
+from repro.workloads.fft import approximate_fft, twiddle
+from repro.workloads.kmeans import rgb_distance, segment_image, synthetic_rgb_image
+from repro.workloads.sobel import sobel_image, sobel_window
+
+FAST = TrainConfig(epochs=60, batch_size=128, learning_rate=0.01, shuffle_seed=0)
+# FFT's bit mapping (zero crossings in cos/sin) needs a longer budget.
+FFT_TRAIN = TrainConfig(
+    epochs=250, batch_size=128, learning_rate=0.01, shuffle_seed=0,
+    lr_decay=0.5, lr_decay_every=80,
+)
+
+
+class TestEndToEndFFT:
+    """The approximate-computing story: an RCS inside a real FFT."""
+
+    @pytest.fixture(scope="class")
+    def trained_mei(self):
+        bench = make_benchmark("fft")
+        data = bench.dataset(n_train=2500, n_test=300, seed=0)
+        mei = MEI(MEIConfig(1, 2, 32), seed=0).train(data.x_train, data.y_train, FFT_TRAIN)
+        return bench, data, mei
+
+    def test_mei_approximates_twiddle(self, trained_mei):
+        bench, data, mei = trained_mei
+        error = bench.error_normalized(mei.predict(data.x_test), data.y_test)
+        assert error < 0.35
+
+    def test_fft_with_mei_twiddles(self, trained_mei):
+        bench, _, mei = trained_mei
+        in_scaler, out_scaler = bench.scalers()
+
+        def mei_twiddle(fractions):
+            unit = mei.predict(in_scaler.transform(fractions))
+            return out_scaler.inverse(unit)
+
+        signal = np.sin(np.linspace(0, 4 * np.pi, 64))
+        approx = approximate_fft(signal, mei_twiddle)
+        exact = np.fft.fft(signal)
+        rel = np.abs(approx - exact).max() / np.abs(exact).max()
+        assert rel < 0.5  # approximate computing: degraded but usable
+
+
+class TestEndToEndSobel:
+    def test_full_image_pipeline(self):
+        bench = make_benchmark("sobel")
+        data = bench.dataset(n_train=2500, n_test=300, seed=0)
+        mei = MEI(MEIConfig(9, 1, 32), seed=0).train(data.x_train, data.y_train, FAST)
+        in_scaler, out_scaler = bench.scalers()
+
+        def mei_window(windows):
+            return out_scaler.inverse(mei.predict(in_scaler.transform(windows)))
+
+        from repro.workloads.jpeg import synthetic_image
+
+        img = synthetic_image(24, 24, np.random.default_rng(3))
+        approx_edges = sobel_image(img, window_fn=mei_window)
+        exact_edges = sobel_image(img)
+        diff = np.mean(np.abs(approx_edges - exact_edges)) / 255.0
+        assert diff < 0.25
+
+
+class TestEndToEndKMeans:
+    def test_segmentation_with_approximate_distance(self):
+        bench = make_benchmark("kmeans")
+        data = bench.dataset(n_train=2500, n_test=300, seed=0)
+        mei = MEI(MEIConfig(6, 1, 32), seed=0).train(data.x_train, data.y_train, FAST)
+        in_scaler, out_scaler = bench.scalers()
+
+        def mei_distance(pairs):
+            return out_scaler.inverse(mei.predict(in_scaler.transform(pairs)))
+
+        img = synthetic_rgb_image(12, 12, np.random.default_rng(1), n_regions=3)
+        approx_seg = segment_image(img, k=3, distance_fn=mei_distance, rng=0,
+                                   max_iterations=4)
+        exact_seg = segment_image(img, k=3, rng=0, max_iterations=4)
+        # Approximate distances still yield a segmentation close to exact.
+        diff = np.mean(np.abs(approx_seg - exact_seg)) / 255.0
+        assert diff < 0.35
+
+
+class TestNoiseRobustnessShape:
+    """Fig. 5's qualitative claims at integration level."""
+
+    @pytest.fixture(scope="class")
+    def systems(self):
+        bench = make_benchmark("sobel")
+        data = bench.dataset(n_train=2000, n_test=300, seed=0)
+        rcs = TraditionalRCS(bench.spec.topology, seed=0).train(
+            data.x_train, data.y_train, FAST
+        )
+        mei = MEI(MEIConfig(9, 1, 16), seed=0).train(data.x_train, data.y_train, FAST)
+        return bench, data, rcs, mei
+
+    def test_error_monotone_in_pv(self, systems):
+        bench, data, rcs, _ = systems
+        errors = []
+        for sigma in (0.0, 0.15, 0.4):
+            noise = NonIdealFactors(sigma_pv=sigma, seed=1)
+            trials = [
+                bench.error_normalized(rcs.predict(data.x_test, noise, t), data.y_test)
+                for t in range(3)
+            ]
+            errors.append(np.mean(trials))
+        assert errors[0] <= errors[1] <= errors[2] * 1.05
+
+    def test_mei_more_robust_to_sf_than_adda(self, systems):
+        bench, data, rcs, mei = systems
+        noise = NonIdealFactors(sigma_sf=0.3, seed=2)
+        adda_clean = bench.error_normalized(rcs.predict(data.x_test), data.y_test)
+        mei_clean = bench.error_normalized(mei.predict(data.x_test), data.y_test)
+        adda_noisy = np.mean([
+            bench.error_normalized(rcs.predict(data.x_test, noise, t), data.y_test)
+            for t in range(5)
+        ])
+        mei_noisy = np.mean([
+            bench.error_normalized(mei.predict(data.x_test, noise, t), data.y_test)
+            for t in range(5)
+        ])
+        assert (mei_noisy - mei_clean) < (adda_noisy - adda_clean)
+
+
+class TestSAABOnBenchmark:
+    def test_boost_improves_or_holds_fft(self):
+        bench = make_benchmark("fft")
+        data = bench.dataset(n_train=2500, n_test=300, seed=0)
+        saab = SAAB(
+            lambda k: MEI(MEIConfig(1, 2, 32), seed=100 + k),
+            SAABConfig(n_learners=3, compare_bits=4, seed=0),
+        ).train(data.x_train, data.y_train, FFT_TRAIN)
+        single = bench.error_normalized(saab.learners[0].predict(data.x_test), data.y_test)
+        boosted = bench.error_normalized(saab.predict(data.x_test), data.y_test)
+        assert boosted <= single * 1.05
+
+
+class TestDSEOnBenchmark:
+    def test_explore_sobel_end_to_end(self):
+        bench = make_benchmark("sobel")
+        data = bench.dataset(n_train=1500, n_test=300, seed=0)
+        config = DSEConfig(
+            error_requirement=0.25,
+            initial_hidden=8,
+            max_hidden=32,
+            prune=True,
+            seed=0,
+        )
+        result = explore(
+            bench.spec.topology,
+            data.x_train,
+            data.y_train,
+            data.x_test,
+            data.y_test,
+            bench.error_normalized,
+            config,
+            FAST,
+        )
+        assert result.status == "ok"
+        assert result.error <= 0.25
+        assert 0 < result.area_saved < 1

@@ -1,0 +1,48 @@
+"""Integration: whole-image JPEG codec approximation on the RCS."""
+
+import numpy as np
+import pytest
+
+from repro import MEI, MEIConfig, TrainConfig, make_benchmark
+from repro.workloads.jpeg import (
+    blocks_to_image,
+    codec_roundtrip,
+    image_to_blocks,
+    synthetic_image,
+)
+
+TRAIN = TrainConfig(epochs=60, batch_size=64, learning_rate=0.01, shuffle_seed=0)
+
+
+class TestJPEGPipeline:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        bench = make_benchmark("jpeg")
+        data = bench.dataset(n_train=2000, n_test=300, seed=0)
+        mei = MEI(MEIConfig(64, 64, 64), seed=0).train(data.x_train, data.y_train, TRAIN)
+        return bench, mei
+
+    def test_block_error_in_paper_band(self, trained):
+        bench, mei = trained
+        data = bench.dataset(n_train=100, n_test=200, seed=9)
+        error = bench.error_normalized(mei.predict(data.x_test), data.y_test)
+        assert error < 0.12  # paper: 9.73%
+
+    def test_whole_image_reconstruction(self, trained):
+        bench, mei = trained
+        in_scaler, out_scaler = bench.scalers()
+        img = synthetic_image(32, 32, np.random.default_rng(4))
+        blocks = image_to_blocks(img)
+        exact = codec_roundtrip(blocks, 50)
+
+        unit = in_scaler.transform(blocks.reshape(-1, 64))
+        approx = out_scaler.inverse(mei.predict(unit)).reshape(-1, 8, 8)
+        approx_img = blocks_to_image(np.clip(approx, 0, 255), 32, 32)
+        exact_img = blocks_to_image(exact, 32, 32)
+
+        # The RCS reconstruction tracks the exact codec's output.
+        diff_vs_exact = np.mean(np.abs(approx_img - exact_img)) / 255.0
+        assert diff_vs_exact < 0.12
+        # And it still resembles the original image (lossy but sane).
+        diff_vs_source = np.mean(np.abs(approx_img - img)) / 255.0
+        assert diff_vs_source < 0.15

@@ -1,0 +1,70 @@
+"""Tests for the PSNR and SSIM image quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.image import psnr, ssim
+from repro.workloads.jpeg import codec_roundtrip, image_to_blocks, synthetic_image
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self, rng):
+        img = rng.uniform(0, 255, (16, 16))
+        assert psnr(img, img) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((8, 8))
+        b = np.full((8, 8), 16.0)  # mse = 256 -> psnr = 10 log10(255^2/256)
+        assert psnr(a, b) == pytest.approx(10 * np.log10(255**2 / 256))
+
+    def test_more_noise_lower_psnr(self, rng):
+        img = rng.uniform(0, 255, (32, 32))
+        small = img + rng.normal(0, 2, img.shape)
+        large = img + rng.normal(0, 20, img.shape)
+        assert psnr(img, small) > psnr(img, large)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            psnr(np.zeros((4, 4)), np.zeros((4, 5)))
+        with pytest.raises(ValueError):
+            psnr(np.zeros((4, 4)), np.zeros((4, 4)), data_range=0.0)
+
+
+class TestSSIM:
+    def test_identical_is_one(self, rng):
+        img = rng.uniform(0, 255, (24, 24))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_noise_reduces_similarity(self, rng):
+        img = synthetic_image(32, 32, rng)
+        noisy = np.clip(img + rng.normal(0, 40, img.shape), 0, 255)
+        assert ssim(img, noisy) < 0.95
+
+    def test_ordering_matches_degradation(self, rng):
+        img = synthetic_image(32, 32, rng)
+        q90 = codec_roundtrip(image_to_blocks(img), 90)
+        q10 = codec_roundtrip(image_to_blocks(img), 10)
+        from repro.workloads.jpeg import blocks_to_image
+
+        high = ssim(img, blocks_to_image(q90, 32, 32))
+        low = ssim(img, blocks_to_image(q10, 32, 32))
+        assert high > low
+
+    def test_rgb_averaged(self, rng):
+        img = rng.uniform(0, 255, (16, 16, 3))
+        assert ssim(img, img) == pytest.approx(1.0)
+
+    def test_bounded(self, rng):
+        a = rng.uniform(0, 255, (24, 24))
+        b = rng.uniform(0, 255, (24, 24))
+        assert -1.0 <= ssim(a, b) <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ssim(np.zeros((16, 16)), np.zeros((16, 15)))
+        with pytest.raises(ValueError):
+            ssim(np.zeros((4, 4)), np.zeros((4, 4)), window=8)  # too small
+        with pytest.raises(ValueError):
+            ssim(np.zeros((16, 16)), np.zeros((16, 16)), window=1)
+        with pytest.raises(ValueError):
+            ssim(np.zeros(16), np.zeros(16))

@@ -1,0 +1,83 @@
+"""Tests for the Monte-Carlo robustness evaluation loop."""
+
+import numpy as np
+import pytest
+
+from repro.device.variation import IDEAL, NonIdealFactors
+from repro.metrics.robustness import (
+    evaluate_under_noise,
+    noise_sweep,
+    robustness_index,
+)
+
+
+def _noisy_predictor(x, noise, trial):
+    """A fake system whose output degrades with sigma."""
+    rng = noise.rng(trial)
+    scale = noise.sigma_pv + noise.sigma_sf
+    return x + rng.normal(0.0, scale + 1e-12, x.shape)
+
+
+def _mae(pred, true):
+    return float(np.mean(np.abs(pred - true)))
+
+
+class TestEvaluateUnderNoise:
+    def test_ideal_noise_runs_single_trial(self, rng):
+        x = rng.uniform(0, 1, (20, 2))
+        result = evaluate_under_noise(_noisy_predictor, x, x, _mae, IDEAL, trials=50)
+        assert result.trials == 1
+        assert result.mean == pytest.approx(0.0, abs=1e-9)
+
+    def test_statistics_fields(self, rng):
+        x = rng.uniform(0, 1, (30, 2))
+        noise = NonIdealFactors(sigma_pv=0.1, seed=0)
+        result = evaluate_under_noise(_noisy_predictor, x, x, _mae, noise, trials=10)
+        assert result.trials == 10
+        assert len(result.values) == 10
+        assert result.worst >= result.mean >= 0
+        assert result.std >= 0
+
+    def test_trials_use_distinct_draws(self, rng):
+        x = rng.uniform(0, 1, (30, 2))
+        noise = NonIdealFactors(sigma_pv=0.2, seed=0)
+        result = evaluate_under_noise(_noisy_predictor, x, x, _mae, noise, trials=5)
+        assert len(np.unique(result.values)) > 1
+
+    def test_rejects_zero_trials(self, rng):
+        x = rng.uniform(0, 1, (5, 1))
+        with pytest.raises(ValueError):
+            evaluate_under_noise(_noisy_predictor, x, x, _mae, IDEAL, trials=0)
+
+
+class TestNoiseSweep:
+    def test_error_grows_with_sigma(self, rng):
+        x = rng.uniform(0, 1, (50, 2))
+        noises = [NonIdealFactors(sigma_pv=s, seed=0) for s in (0.01, 0.1, 0.5)]
+        results = noise_sweep(_noisy_predictor, x, x, _mae, noises, trials=10)
+        means = [r.mean for r in results]
+        assert means == sorted(means)
+
+    def test_one_result_per_level(self, rng):
+        x = rng.uniform(0, 1, (10, 1))
+        noises = [NonIdealFactors(sigma_pv=s, seed=0) for s in (0.0, 0.1)]
+        assert len(noise_sweep(_noisy_predictor, x, x, _mae, noises, trials=3)) == 2
+
+
+class TestRobustnessIndex:
+    def test_perfectly_robust(self):
+        assert robustness_index(0.1, 0.1) == 1.0
+
+    def test_zero_noisy_error(self):
+        assert robustness_index(0.0, 0.0) == 1.0
+
+    def test_fragile_when_clean_is_zero(self):
+        assert robustness_index(0.0, 0.5) == 0.0
+
+    def test_capped_at_one(self):
+        # Noise accidentally improving the metric still caps at 1.
+        assert robustness_index(0.2, 0.1) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            robustness_index(-0.1, 0.1)

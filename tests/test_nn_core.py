@@ -1,0 +1,194 @@
+"""Unit tests for the NN substrate: activations, layers, network, losses.
+
+Includes a numerical gradient check of the full backprop path — the
+single most load-bearing test of the training substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn.activations import Identity, Relu, Sigmoid, Tanh, get_activation
+from repro.nn.layers import DenseLayer
+from repro.nn.losses import WeightedMSE, mse
+from repro.nn.network import MLP
+
+
+class TestActivations:
+    @pytest.mark.parametrize("name", ["sigmoid", "tanh", "relu", "identity"])
+    def test_registry(self, name):
+        assert get_activation(name).name == name
+
+    def test_registry_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            get_activation("softmax")
+
+    def test_sigmoid_range(self, rng):
+        x = rng.normal(0, 10, 100)
+        y = Sigmoid().forward(x)
+        assert np.all((y > 0) & (y < 1))
+
+    def test_sigmoid_midpoint(self):
+        assert Sigmoid().forward(np.array([0.0]))[0] == 0.5
+
+    def test_sigmoid_no_overflow(self):
+        y = Sigmoid().forward(np.array([-1e6, 1e6]))
+        assert np.all(np.isfinite(y))
+
+    @pytest.mark.parametrize("cls", [Sigmoid, Tanh, Relu, Identity])
+    def test_derivative_matches_finite_difference(self, cls, rng):
+        act = cls()
+        x = rng.normal(0, 2, 50)
+        x = x[np.abs(x) > 1e-3]  # keep away from ReLU's kink
+        h = 1e-6
+        numeric = (act.forward(x + h) - act.forward(x - h)) / (2 * h)
+        assert np.allclose(act.backward(x), numeric, atol=1e-4)
+
+
+class TestDenseLayer:
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            DenseLayer(0, 3)
+
+    def test_forward_shape(self, rng):
+        layer = DenseLayer(4, 7, rng=rng)
+        assert layer.forward(rng.normal(size=(5, 4))).shape == (5, 7)
+
+    def test_backward_requires_forward(self, rng):
+        layer = DenseLayer(2, 2, rng=rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_copy_is_independent(self, rng):
+        layer = DenseLayer(3, 3, rng=rng)
+        clone = layer.copy()
+        layer.weights += 1.0
+        assert not np.allclose(layer.weights, clone.weights)
+
+    def test_gradient_check(self, rng):
+        """Numerical gradient check of weights, bias and input grads."""
+        layer = DenseLayer(3, 2, activation="sigmoid", rng=rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.uniform(0, 1, (4, 2))
+        loss = WeightedMSE()
+
+        def f():
+            return loss.value(layer.forward(x, train=True), target)
+
+        base = f()
+        grad = loss.gradient(layer.forward(x, train=True), target)
+        layer.backward(grad)
+        h = 1e-6
+        for arr, g in ((layer.weights, layer.grad_weights), (layer.bias, layer.grad_bias)):
+            it = np.nditer(arr, flags=["multi_index"])
+            for _ in it:
+                idx = it.multi_index
+                old = arr[idx]
+                arr[idx] = old + h
+                plus = f()
+                arr[idx] = old - h
+                minus = f()
+                arr[idx] = old
+                numeric = (plus - minus) / (2 * h)
+                assert np.isclose(g[idx], numeric, atol=1e-5), f"{idx}: {g[idx]} vs {numeric}"
+
+
+class TestMLP:
+    def test_rejects_too_few_layers(self):
+        with pytest.raises(ValueError):
+            MLP((4,))
+
+    def test_layer_sizes(self):
+        net = MLP((2, 8, 3), rng=0)
+        assert net.in_dim == 2 and net.out_dim == 3
+        assert len(net.layers) == 2
+
+    def test_deep_network(self, rng):
+        net = MLP((2, 4, 4, 1), rng=0)
+        assert net.predict(rng.uniform(0, 1, (5, 2))).shape == (5, 1)
+
+    def test_seed_reproducibility(self, rng):
+        x = rng.uniform(0, 1, (5, 2))
+        assert np.allclose(MLP((2, 4, 1), rng=7).predict(x), MLP((2, 4, 1), rng=7).predict(x))
+
+    def test_copy_detached(self, rng):
+        net = MLP((2, 4, 1), rng=0)
+        clone = net.copy()
+        net.layers[0].weights += 1.0
+        x = rng.uniform(0, 1, (3, 2))
+        assert not np.allclose(net.predict(x), clone.predict(x))
+
+    def test_parameter_count(self):
+        net = MLP((2, 8, 2), rng=0)
+        assert net.parameter_count() == (2 * 8 + 8) + (8 * 2 + 2)
+
+    def test_full_backprop_gradient_check(self, rng):
+        """End-to-end numerical gradient check through two layers."""
+        net = MLP((3, 5, 2), rng=0)
+        x = rng.uniform(0, 1, (6, 3))
+        target = rng.uniform(0, 1, (6, 2))
+        loss = WeightedMSE(port_weights=np.array([1.0, 0.5]))
+
+        pred = net.forward(x, train=True)
+        net.backward(loss.gradient(pred, target))
+        grads = [(l, l.grad_weights.copy(), l.grad_bias.copy()) for l in net.layers]
+
+        h = 1e-6
+        for layer, gw, gb in grads:
+            for arr, g in ((layer.weights, gw), (layer.bias, gb)):
+                flat = arr.reshape(-1)
+                for idx in range(0, flat.size, max(1, flat.size // 5)):
+                    old = flat[idx]
+                    flat[idx] = old + h
+                    plus = loss.value(net.predict(x), target)
+                    flat[idx] = old - h
+                    minus = loss.value(net.predict(x), target)
+                    flat[idx] = old
+                    numeric = (plus - minus) / (2 * h)
+                    assert np.isclose(g.reshape(-1)[idx], numeric, atol=1e-5)
+
+
+class TestLosses:
+    def test_mse_zero_on_identical(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert mse(x, x) == 0.0
+
+    def test_mse_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((2, 3)))
+
+    def test_uniform_weighted_equals_scaled_mse(self, rng):
+        pred = rng.uniform(0, 1, (10, 4))
+        target = rng.uniform(0, 1, (10, 4))
+        # WeightedMSE sums squared port errors per sample, then means
+        # over samples: equals mse * n_ports for uniform weights.
+        assert np.isclose(WeightedMSE().value(pred, target), mse(pred, target) * 4)
+
+    def test_port_weights_emphasize_msb(self):
+        pred = np.zeros((1, 2))
+        target = np.ones((1, 2))
+        loss = WeightedMSE(port_weights=np.array([1.0, 0.0]))
+        # Only the first port contributes.
+        assert loss.value(pred, target) == 1.0
+
+    def test_gradient_zero_for_zero_weight_port(self):
+        pred = np.zeros((3, 2))
+        target = np.ones((3, 2))
+        grad = WeightedMSE(port_weights=np.array([1.0, 0.0])).gradient(pred, target)
+        assert np.all(grad[:, 1] == 0.0)
+        assert np.all(grad[:, 0] != 0.0)
+
+    def test_sample_weights_scale_value(self, rng):
+        pred = rng.uniform(0, 1, (4, 2))
+        target = rng.uniform(0, 1, (4, 2))
+        loss = WeightedMSE()
+        doubled = loss.value(pred, target, sample_weights=np.full(4, 2.0))
+        assert np.isclose(doubled, 2 * loss.value(pred, target))
+
+    def test_rejects_negative_port_weights(self):
+        with pytest.raises(ValueError):
+            WeightedMSE(port_weights=np.array([-1.0]))
+
+    def test_rejects_wrong_port_count(self):
+        loss = WeightedMSE(port_weights=np.ones(3))
+        with pytest.raises(ValueError):
+            loss.value(np.zeros((2, 2)), np.zeros((2, 2)))

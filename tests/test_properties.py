@@ -1,0 +1,180 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.cost.area import MEITopology, Topology, cost_mei, cost_traditional
+from repro.cost.params import CostParams
+from repro.metrics.robustness import robustness_index
+from repro.quant.binarray import harden, msb_match, msb_weights
+from repro.quant.fixedpoint import FixedPointCodec, quantize_unit
+from repro.xbar.crossbar import coefficients_from_conductance
+from repro.xbar.mapping import DifferentialCrossbar
+
+unit_values = st.floats(min_value=0.0, max_value=0.999999, allow_nan=False)
+
+
+class TestCodecProperties:
+    @given(bits=st.integers(1, 16), value=unit_values)
+    def test_roundtrip_error_below_lsb(self, bits, value):
+        codec = FixedPointCodec(bits)
+        decoded = codec.decode(codec.encode(np.array([[value]])))
+        assert abs(decoded[0, 0] - value) < codec.resolution
+
+    @given(bits=st.integers(1, 12), value=unit_values)
+    def test_decode_never_exceeds_input(self, bits, value):
+        """Truncating quantization always rounds toward zero."""
+        codec = FixedPointCodec(bits)
+        decoded = codec.decode(codec.encode(np.array([[value]])))
+        assert decoded[0, 0] <= value + 1e-12
+
+    @given(
+        bits=st.integers(1, 10),
+        values=arrays(float, (3, 2), elements=unit_values),
+    )
+    def test_quantize_idempotent(self, bits, values):
+        q = quantize_unit(values, bits)
+        assert np.array_equal(quantize_unit(q, bits), q)
+
+    @given(bits=st.integers(1, 10), a=unit_values, b=unit_values)
+    def test_encoding_preserves_order(self, bits, a, b):
+        """Monotone: a <= b implies decode(enc(a)) <= decode(enc(b))."""
+        codec = FixedPointCodec(bits)
+        da = codec.decode(codec.encode(np.array([[a]])))[0, 0]
+        db = codec.decode(codec.encode(np.array([[b]])))[0, 0]
+        if a <= b:
+            assert da <= db
+        else:
+            assert da >= db
+
+
+class TestBitArrayProperties:
+    @given(bits=st.integers(1, 12), groups=st.integers(1, 5), decay=st.floats(1.0, 4.0))
+    def test_msb_weights_monotone_within_group(self, bits, groups, decay):
+        w = msb_weights(bits, groups, decay)
+        per_group = w.reshape(groups, bits)
+        assert np.all(np.diff(per_group, axis=1) <= 1e-15)
+        assert np.all(per_group[:, 0] == 1.0)
+
+    @given(arrays(float, (4, 8), elements=st.floats(0, 1)))
+    def test_harden_idempotent(self, soft):
+        hard = harden(soft)
+        assert np.array_equal(harden(hard), hard)
+
+    @given(
+        arrays(float, (3, 8), elements=st.sampled_from([0.0, 1.0])),
+        st.integers(1, 8),
+    )
+    def test_msb_match_reflexive(self, bits_arr, compare):
+        assert np.all(msb_match(bits_arr, bits_arr, bits=8, compare_bits=compare))
+
+    @given(
+        a=arrays(float, (3, 8), elements=st.sampled_from([0.0, 1.0])),
+        b=arrays(float, (3, 8), elements=st.sampled_from([0.0, 1.0])),
+    )
+    def test_msb_match_monotone_in_compare_bits(self, a, b):
+        """Matching on more bits can only fail more often."""
+        previous = np.ones(3, dtype=bool)
+        for compare in range(1, 9):
+            current = msb_match(a, b, bits=8, compare_bits=compare)
+            assert np.all(current <= previous)
+            previous = current
+
+
+class TestCrossbarProperties:
+    conductances = arrays(
+        float, (6, 4), elements=st.floats(1e-7, 1e-4, allow_nan=False)
+    )
+
+    @given(conductances)
+    def test_coefficients_are_contractive(self, g):
+        """Column coefficient sums are strictly below one (passivity)."""
+        c = coefficients_from_conductance(g, g_s=1e-3)
+        assert np.all(c >= 0)
+        assert np.all(c.sum(axis=0) < 1.0)
+
+    @given(
+        weights=arrays(float, (5, 3), elements=st.floats(-2, 2, allow_nan=False)),
+        x=arrays(float, (2, 5), elements=st.floats(0, 1, allow_nan=False)),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_differential_mapping_exact(self, weights, x):
+        pair = DifferentialCrossbar(weights)
+        ideal = x @ weights
+        scale = max(float(np.max(np.abs(ideal))), 1.0)
+        assert np.max(np.abs(pair.apply(x) - ideal)) / scale < 1e-9
+
+    @given(
+        weights=arrays(float, (4, 2), elements=st.floats(-1, 1, allow_nan=False)),
+        x=arrays(float, (1, 4), elements=st.floats(0, 1, allow_nan=False)),
+        scale=st.floats(0.1, 2.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_crossbar_linearity(self, weights, x, scale):
+        """The analog matrix product is linear in the input."""
+        pair = DifferentialCrossbar(weights)
+        assert np.allclose(pair.apply(x * scale), pair.apply(x) * scale, atol=1e-9)
+
+
+class TestCostProperties:
+    topologies = st.builds(
+        Topology,
+        inputs=st.integers(1, 64),
+        hidden=st.integers(1, 64),
+        outputs=st.integers(1, 64),
+        bits=st.integers(1, 12),
+    )
+    params = st.builds(
+        CostParams,
+        dac=st.floats(0, 1e4),
+        adc=st.floats(0, 1e4),
+        periphery=st.floats(0, 1e3),
+        rram=st.floats(0.01, 10),
+    )
+
+    @given(topology=topologies, params=params)
+    def test_traditional_cost_positive(self, topology, params):
+        assert cost_traditional(topology, params) > 0
+
+    @given(topology=topologies, params=params)
+    def test_unpruned_mei_cost_formula(self, topology, params):
+        """Eq. 7 with B folded into ports equals the explicit B form."""
+        mei = MEITopology.from_analog(topology)
+        explicit = (
+            mei.hidden * params.periphery
+            + topology.bits * 2 * (topology.inputs + topology.outputs)
+            * mei.hidden * params.rram
+        )
+        assert np.isclose(cost_mei(mei, params), explicit)
+
+    @given(topology=topologies, params=params, keep=st.integers(1, 8))
+    def test_pruning_never_increases_cost(self, topology, params, keep):
+        full = MEITopology.from_analog(topology)
+        keep = min(keep, topology.bits)
+        pruned = MEITopology(
+            in_ports=topology.inputs * keep,
+            hidden=topology.hidden,
+            out_ports=topology.outputs * keep,
+            in_groups=topology.inputs,
+            out_groups=topology.outputs,
+        )
+        assert cost_mei(pruned, params) <= cost_mei(full, params)
+
+
+class TestRobustnessProperties:
+    @given(clean=st.floats(0, 10), noisy=st.floats(0, 10))
+    def test_index_in_unit_interval(self, clean, noisy):
+        gamma = robustness_index(clean, noisy)
+        assert 0.0 <= gamma <= 1.0
+
+    @given(error=st.floats(1e-6, 10))
+    def test_no_degradation_is_fully_robust(self, error):
+        assert robustness_index(error, error) == 1.0
+
+    @given(clean=st.floats(0.01, 1), factor=st.floats(1.0, 100.0))
+    def test_more_degradation_less_robust(self, clean, factor):
+        worse = robustness_index(clean, clean * factor * 2)
+        better = robustness_index(clean, clean * factor)
+        assert worse <= better

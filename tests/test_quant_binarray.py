@@ -1,0 +1,101 @@
+"""Unit tests for bit-array helpers (MSB weights, hardening, matching)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.binarray import bit_error_rate, harden, msb_match, msb_weights
+
+
+class TestMsbWeights:
+    def test_paper_example(self):
+        # 8-bit array: MSB weight 2^0, LSB weight 2^-7 (Sec. 3.1).
+        w = msb_weights(8)
+        assert w[0] == 1.0
+        assert w[-1] == 2.0**-7
+
+    def test_tiled_per_group(self):
+        w = msb_weights(4, groups=3)
+        assert w.shape == (12,)
+        assert np.allclose(w[:4], w[4:8])
+        assert np.allclose(w[:4], w[8:])
+
+    def test_custom_decay(self):
+        w = msb_weights(3, decay=10.0)
+        assert np.allclose(w, [1.0, 0.1, 0.01])
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            msb_weights(0)
+        with pytest.raises(ValueError):
+            msb_weights(4, groups=0)
+        with pytest.raises(ValueError):
+            msb_weights(4, decay=0.0)
+
+
+class TestHarden:
+    def test_threshold(self):
+        assert np.array_equal(harden(np.array([0.49, 0.5, 0.51])), [0.0, 1.0, 1.0])
+
+    def test_custom_threshold(self):
+        assert np.array_equal(harden(np.array([0.3, 0.8]), threshold=0.9), [0.0, 0.0])
+
+    def test_output_is_float_binary(self):
+        out = harden(np.random.default_rng(0).uniform(0, 1, (4, 7)))
+        assert out.dtype == float
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+
+class TestMsbMatch:
+    def test_exact_match(self):
+        bits = np.array([[1, 0, 1, 1, 0, 0, 1, 0]], dtype=float)
+        assert msb_match(bits, bits, bits=8, compare_bits=8)[0]
+
+    def test_lsb_mismatch_ignored(self):
+        a = np.array([[1, 0, 1, 0, 0, 0, 0, 0]], dtype=float)
+        b = np.array([[1, 0, 1, 0, 1, 1, 1, 1]], dtype=float)
+        assert msb_match(a, b, bits=8, compare_bits=4)[0]
+        assert not msb_match(a, b, bits=8, compare_bits=5)[0]
+
+    def test_all_groups_must_match(self):
+        a = np.array([[1, 0, 0, 0]], dtype=float)  # two 2-bit groups
+        b = np.array([[1, 0, 1, 0]], dtype=float)
+        assert not msb_match(a, b, bits=2, compare_bits=1)[0]
+
+    def test_batch_shape(self):
+        a = np.zeros((7, 16))
+        assert msb_match(a, a, bits=8, compare_bits=4).shape == (7,)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            msb_match(np.zeros((2, 8)), np.zeros((3, 8)), bits=8, compare_bits=4)
+
+    def test_rejects_bad_compare_bits(self):
+        a = np.zeros((1, 8))
+        with pytest.raises(ValueError):
+            msb_match(a, a, bits=8, compare_bits=0)
+        with pytest.raises(ValueError):
+            msb_match(a, a, bits=8, compare_bits=9)
+
+    def test_rejects_misaligned_ports(self):
+        a = np.zeros((1, 10))
+        with pytest.raises(ValueError):
+            msb_match(a, a, bits=8, compare_bits=4)
+
+
+class TestBitErrorRate:
+    def test_zero_on_identical(self):
+        bits = np.ones((3, 8))
+        assert bit_error_rate(bits, bits) == 0.0
+
+    def test_one_on_complement(self):
+        bits = np.ones((3, 8))
+        assert bit_error_rate(bits, 1 - bits) == 1.0
+
+    def test_fractional(self):
+        a = np.array([[1, 1, 0, 0]], dtype=float)
+        b = np.array([[1, 0, 0, 1]], dtype=float)
+        assert bit_error_rate(a, b) == 0.5
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            bit_error_rate(np.zeros(4), np.zeros(5))

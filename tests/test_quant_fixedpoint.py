@@ -1,0 +1,117 @@
+"""Unit tests for the fixed-point codec."""
+
+import numpy as np
+import pytest
+
+from repro.quant.fixedpoint import FixedPointCodec, bit_place_values, quantize_unit
+
+
+class TestBitPlaceValues:
+    def test_first_entry_is_half(self):
+        assert bit_place_values(8)[0] == 0.5
+
+    def test_values_halve(self):
+        values = bit_place_values(6)
+        assert np.allclose(values[:-1] / values[1:], 2.0)
+
+    def test_sum_approaches_one(self):
+        assert np.isclose(bit_place_values(20).sum(), 1.0 - 2.0**-20)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            bit_place_values(0)
+
+
+class TestQuantizeUnit:
+    def test_grid_alignment(self):
+        q = quantize_unit(np.array([0.1, 0.5, 0.9]), 8)
+        assert np.allclose(q * 256, np.round(q * 256))
+
+    def test_clips_above_range(self):
+        assert quantize_unit(np.array([1.5]), 8)[0] == 255 / 256
+
+    def test_clips_below_range(self):
+        assert quantize_unit(np.array([-0.3]), 8)[0] == 0.0
+
+    def test_error_bounded_by_lsb(self):
+        values = np.linspace(0, 0.999, 777)
+        q = quantize_unit(values, 8)
+        assert np.all(np.abs(q - values) < 2.0**-8)
+
+    def test_idempotent(self):
+        values = np.linspace(0, 0.99, 100)
+        q = quantize_unit(values, 6)
+        assert np.array_equal(quantize_unit(q, 6), q)
+
+
+class TestFixedPointCodec:
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointCodec(0)
+        with pytest.raises(ValueError):
+            FixedPointCodec(33)
+
+    def test_resolution(self):
+        assert FixedPointCodec(8).resolution == 2.0**-8
+
+    def test_encode_shape(self):
+        codec = FixedPointCodec(8)
+        bits = codec.encode(np.zeros((5, 3)))
+        assert bits.shape == (5, 24)
+
+    def test_encode_is_binary(self):
+        codec = FixedPointCodec(8)
+        bits = codec.encode(np.random.default_rng(0).uniform(0, 1, (20, 4)))
+        assert set(np.unique(bits)) <= {0.0, 1.0}
+
+    def test_half_encodes_as_msb(self):
+        codec = FixedPointCodec(8)
+        bits = codec.encode(np.array([[0.5]]))
+        assert bits[0, 0] == 1.0
+        assert np.all(bits[0, 1:] == 0.0)
+
+    def test_encode_1d_input_keeps_rank(self):
+        codec = FixedPointCodec(4)
+        bits = codec.encode(np.array([0.5, 0.25]))
+        assert bits.shape == (8,)
+
+    def test_roundtrip_equals_quantize(self, rng):
+        codec = FixedPointCodec(8)
+        values = rng.uniform(0, 1, (50, 3))
+        assert np.allclose(codec.decode(codec.encode(values)), codec.quantize(values))
+
+    def test_roundtrip_exact_on_grid(self, rng):
+        codec = FixedPointCodec(6)
+        values = rng.integers(0, 64, (30, 2)) / 64.0
+        assert np.allclose(codec.decode(codec.encode(values)), values)
+
+    def test_decode_soft_bits(self):
+        codec = FixedPointCodec(2)
+        # Soft MSB of 0.5 contributes half its place value.
+        assert np.isclose(codec.decode(np.array([0.5, 0.0]))[0], 0.25)
+
+    def test_decode_rejects_misaligned(self):
+        codec = FixedPointCodec(8)
+        with pytest.raises(ValueError):
+            codec.decode(np.zeros((2, 13)))
+
+    def test_ports(self):
+        assert FixedPointCodec(8).ports(3) == 24
+
+    def test_ports_rejects_zero(self):
+        with pytest.raises(ValueError):
+            FixedPointCodec(8).ports(0)
+
+    def test_multirow_group_layout(self):
+        codec = FixedPointCodec(4)
+        bits = codec.encode(np.array([[0.5, 0.0], [0.0, 0.5]]))
+        # First group of row 0 and second group of row 1 carry the MSB.
+        assert bits[0, 0] == 1.0 and bits[0, 4] == 0.0
+        assert bits[1, 0] == 0.0 and bits[1, 4] == 1.0
+
+    def test_encode_clips_out_of_range(self):
+        codec = FixedPointCodec(8)
+        bits = codec.encode(np.array([2.0, -1.0]))
+        decoded = codec.decode(bits)
+        assert decoded[0] == 1.0 - 2.0**-8
+        assert decoded[1] == 0.0

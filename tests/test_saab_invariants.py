@@ -1,0 +1,75 @@
+"""Invariant tests for SAAB's boosting state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core.mei import MEI, MEIConfig
+from repro.core.saab import SAAB, SAABConfig
+from repro.nn.trainer import TrainConfig
+
+FAST = TrainConfig(epochs=20, batch_size=64, learning_rate=0.02, shuffle_seed=0)
+
+
+def _toy_data(rng, n=300):
+    x = rng.uniform(0, 1, (n, 2))
+    y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+    return x, y
+
+
+def _factory(hidden=10):
+    return lambda k: MEI(MEIConfig(2, 1, hidden), seed=70 + k)
+
+
+class TestWeightInvariants:
+    def test_weights_stay_positive(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=4, compare_bits=3, seed=0))
+        saab.train(x, y, FAST)
+        assert np.all(saab._weights > 0)
+
+    def test_weights_finite(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=4, compare_bits=8, seed=0))
+        saab.train(x, y, FAST)  # strict comparison stresses the guard
+        assert np.all(np.isfinite(saab._weights))
+
+    def test_round_count_matches_learner_count(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=3, seed=0)).train(x, y, FAST)
+        assert len(saab.rounds) == len(saab.learners) == len(saab.alphas) == 3
+
+    def test_errors_recorded_in_unit_interval(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=3, compare_bits=4, seed=0))
+        saab.train(x, y, FAST)
+        for round_info in saab.rounds:
+            assert 0.0 < round_info.error < 1.0
+
+
+class TestVoteInvariants:
+    def test_vote_deterministic(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=3, seed=0)).train(x, y, FAST)
+        assert np.array_equal(saab.predict_bits(x[:20]), saab.predict_bits(x[:20]))
+
+    def test_single_learner_vote_is_that_learner(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=1, seed=0)).train(x, y, FAST)
+        assert np.array_equal(
+            saab.predict_bits(x[:20]), saab.learners[0].predict_bits(x[:20])
+        )
+
+    def test_vote_respects_port_width(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=2, seed=0)).train(x, y, FAST)
+        bits = saab.predict_bits(x[:5])
+        assert bits.shape == (5, 8)  # 1 output group x 8 bits
+
+    def test_len_reflects_trained_learners(self, rng):
+        x, y = _toy_data(rng)
+        saab = SAAB(_factory(), SAABConfig(n_learners=2, seed=0))
+        assert len(saab) == 0
+        saab.extend(x, y, 1, FAST)
+        assert len(saab) == 1
+        saab.extend(x, y, 1, FAST)
+        assert len(saab) == 2

@@ -1,0 +1,110 @@
+"""Tests for save/load of trained systems."""
+
+import numpy as np
+import pytest
+
+from repro.core.mei import MEI, MEIConfig
+from repro.core.rcs import TraditionalRCS
+from repro.core.saab import SAAB, SAABConfig
+from repro.cost.area import Topology
+from repro.nn.network import MLP
+from repro.nn.trainer import TrainConfig, Trainer
+from repro.serialization import (
+    load_mei,
+    load_mlp,
+    load_rcs,
+    load_saab,
+    save_mei,
+    save_mlp,
+    save_rcs,
+    save_saab,
+)
+
+FAST = TrainConfig(epochs=20, batch_size=64, learning_rate=0.02, shuffle_seed=0)
+
+
+def _toy_data(rng, n=300):
+    x = rng.uniform(0, 1, (n, 2))
+    y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+    return x, y
+
+
+class TestMLPRoundtrip:
+    def test_predictions_identical(self, rng, tmp_path):
+        net = MLP((3, 7, 2), hidden_activation="tanh", rng=0)
+        path = tmp_path / "net.npz"
+        save_mlp(net, path)
+        restored = load_mlp(path)
+        x = rng.uniform(0, 1, (10, 3))
+        assert np.array_equal(restored.predict(x), net.predict(x))
+        assert restored.layers[0].activation.name == "tanh"
+
+    def test_kind_mismatch_rejected(self, rng, tmp_path):
+        net = MLP((2, 3, 1), rng=0)
+        path = tmp_path / "net.npz"
+        save_mlp(net, path)
+        with pytest.raises(ValueError):
+            load_mei(path)
+
+
+class TestMEIRoundtrip:
+    def test_full_roundtrip(self, rng, tmp_path):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8, msb_weighted=True, weight_decay_ratio=1.5),
+                  seed=0).train(x, y, FAST)
+        path = tmp_path / "mei.npz"
+        save_mei(mei, path)
+        restored = load_mei(path)
+        assert np.array_equal(restored.predict(x[:30]), mei.predict(x[:30]))
+        assert restored.config == mei.config
+
+    def test_pruning_masks_survive(self, rng, tmp_path):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, FAST)
+        pruned = mei.pruned(in_bits=5, out_bits=6)
+        path = tmp_path / "pruned.npz"
+        save_mei(pruned, path)
+        restored = load_mei(path)
+        assert restored.in_bits == 5
+        assert restored.out_bits == 6
+        assert np.array_equal(restored.predict(x[:20]), pruned.predict(x[:20]))
+
+    def test_restored_is_deployed(self, rng, tmp_path):
+        x, y = _toy_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, FAST)
+        path = tmp_path / "mei.npz"
+        save_mei(mei, path)
+        restored = load_mei(path)
+        assert restored.analog is not None
+
+
+class TestRCSRoundtrip:
+    def test_full_roundtrip(self, rng, tmp_path):
+        x, y = _toy_data(rng)
+        rcs = TraditionalRCS(Topology(2, 8, 1, bits=6), seed=0).train(x, y, FAST)
+        path = tmp_path / "rcs.npz"
+        save_rcs(rcs, path)
+        restored = load_rcs(path)
+        assert np.array_equal(restored.predict(x[:30]), rcs.predict(x[:30]))
+        assert restored.topology == rcs.topology
+
+
+class TestSAABRoundtrip:
+    def test_full_roundtrip(self, rng, tmp_path):
+        x, y = _toy_data(rng)
+        saab = SAAB(
+            lambda k: MEI(MEIConfig(2, 1, 8), seed=30 + k),
+            SAABConfig(n_learners=2, compare_bits=4, seed=0),
+        ).train(x, y, FAST)
+        path = tmp_path / "ensemble.npz"
+        written = save_saab(saab, path)
+        assert len(written) == 3  # index + 2 members
+        restored = load_saab(path)
+        assert len(restored) == 2
+        assert np.allclose(restored.alphas, saab.alphas)
+        assert np.array_equal(restored.predict(x[:20]), saab.predict(x[:20]))
+
+    def test_untrained_rejected(self, tmp_path):
+        saab = SAAB(lambda k: MEI(MEIConfig(1, 1, 4), seed=k), SAABConfig(n_learners=1))
+        with pytest.raises(ValueError):
+            save_saab(saab, tmp_path / "x.npz")

@@ -1,0 +1,115 @@
+"""Tests for the latency model and device I-V nonlinearity."""
+
+import numpy as np
+import pytest
+
+from repro.cost.area import MEITopology, Topology
+from repro.cost.timing import TimingParams, latency_mei, latency_traditional, speedup
+from repro.xbar.crossbar import Crossbar, sinh_nonlinearity
+from repro.xbar.mapping import DifferentialCrossbar, MappingConfig
+
+
+class TestTimingParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimingParams(t_dac=-1.0)
+        with pytest.raises(ValueError):
+            TimingParams(dacs_per_port=0.0)
+        with pytest.raises(ValueError):
+            TimingParams(adcs_per_port=1.5)
+
+
+class TestLatency:
+    def test_traditional_includes_conversions(self):
+        params = TimingParams(t_dac=1.0, t_adc=0.7, t_settle=5.0)
+        latency = latency_traditional(Topology(2, 8, 2), params)
+        assert latency == pytest.approx(1.0 + 2 * 5.0 + 0.7)
+
+    def test_mei_skips_conversions(self):
+        params = TimingParams(t_settle=5.0, t_comparator=0.2)
+        latency = latency_mei(MEITopology(16, 16, 16), params)
+        assert latency == pytest.approx(2 * 5.0 + 0.2)
+
+    def test_converter_sharing_serializes(self):
+        private = TimingParams(dacs_per_port=1.0, adcs_per_port=1.0)
+        shared = TimingParams(dacs_per_port=1 / 8, adcs_per_port=1 / 8)
+        topo = Topology(8, 8, 8)
+        assert latency_traditional(topo, shared) > latency_traditional(topo, private)
+
+    def test_mei_is_faster(self):
+        params = TimingParams()
+        topo = Topology(2, 8, 2)
+        assert speedup(topo, MEITopology.from_analog(topo), params) > 1.0
+
+    def test_layers_validation(self):
+        with pytest.raises(ValueError):
+            latency_traditional(Topology(1, 1, 1), TimingParams(), layers=0)
+        with pytest.raises(ValueError):
+            latency_mei(MEITopology(8, 8, 8), TimingParams(), layers=0)
+
+    def test_energy_per_inference(self):
+        from repro.cost.timing import energy_per_inference
+
+        assert energy_per_inference(1000.0, 10.0) == 10_000.0  # 10 pJ in fJ
+        with pytest.raises(ValueError):
+            energy_per_inference(-1.0, 1.0)
+
+
+class TestSinhNonlinearity:
+    def test_fixed_points(self):
+        v = np.array([0.0, 1.0])
+        for alpha in (0.5, 2.0, 5.0):
+            out = sinh_nonlinearity(v, alpha)
+            assert out[0] == 0.0
+            assert out[1] == pytest.approx(1.0)
+
+    def test_zero_alpha_is_identity(self, rng):
+        v = rng.uniform(0, 1, 50)
+        assert np.array_equal(sinh_nonlinearity(v, 0.0), v)
+
+    def test_compresses_midrange(self, rng):
+        v = rng.uniform(0.1, 0.9, 50)
+        out = sinh_nonlinearity(v, 3.0)
+        assert np.all(out < v)  # sinh sags below linear inside (0, 1)
+
+    def test_monotone(self):
+        v = np.linspace(0, 1, 100)
+        out = sinh_nonlinearity(v, 4.0)
+        assert np.all(np.diff(out) > 0)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            sinh_nonlinearity(np.array([0.5]), -1.0)
+
+
+class TestNonlinearCrossbar:
+    def test_binary_inputs_unaffected(self, rng):
+        """MEI's 0/1 levels are immune to the input nonlinearity."""
+        g = rng.uniform(1e-7, 1e-4, (6, 3))
+        linear = Crossbar(g, g_s=1e-3, nonlinearity=0.0)
+        nonlinear = Crossbar(g, g_s=1e-3, nonlinearity=3.0)
+        bits = rng.integers(0, 2, (5, 6)).astype(float)
+        assert np.allclose(nonlinear.apply(bits), linear.apply(bits))
+
+    def test_analog_inputs_distorted(self, rng):
+        g = rng.uniform(1e-7, 1e-4, (6, 3))
+        linear = Crossbar(g, g_s=1e-3, nonlinearity=0.0)
+        nonlinear = Crossbar(g, g_s=1e-3, nonlinearity=3.0)
+        analog = rng.uniform(0.2, 0.8, (5, 6))
+        assert not np.allclose(nonlinear.apply(analog), linear.apply(analog))
+
+    def test_differential_pair_carries_nonlinearity(self, rng):
+        config = MappingConfig(input_nonlinearity=3.0)
+        pair = DifferentialCrossbar(rng.normal(size=(5, 2)), config=config)
+        assert pair.positive.nonlinearity == 3.0
+        x = rng.uniform(0.2, 0.8, (4, 5))
+        ideal = x @ np.zeros((5, 2))  # placeholder, compare vs linear pair
+        linear_pair = DifferentialCrossbar(
+            pair_weights := rng.normal(size=(5, 2)), config=MappingConfig()
+        )
+        nl_pair = DifferentialCrossbar(pair_weights, config=config)
+        assert not np.allclose(nl_pair.apply(x), linear_pair.apply(x))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MappingConfig(input_nonlinearity=-0.5)

@@ -1,0 +1,155 @@
+"""Tests of the Benchmark layer: datasets, scalers, metrics, registry."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.error import average_relative_error, image_diff, miss_rate
+from repro.workloads.base import BenchmarkSpec
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    PAPER_TABLE1,
+    all_benchmarks,
+    make_benchmark,
+)
+
+
+class TestRegistry:
+    def test_all_six_benchmarks(self):
+        assert set(BENCHMARK_NAMES) == {
+            "fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"
+        }
+
+    def test_make_benchmark_unknown(self):
+        with pytest.raises(ValueError):
+            make_benchmark("nonexistent")
+
+    def test_all_benchmarks_order(self):
+        names = [b.spec.name for b in all_benchmarks()]
+        assert names == list(BENCHMARK_NAMES)
+
+    def test_paper_topologies_match_table1(self):
+        """Digital/AD-DA topologies of Table 1."""
+        expected = {
+            "fft": (1, 8, 2),
+            "inversek2j": (2, 8, 2),
+            "jmeint": (18, 48, 2),
+            "jpeg": (64, 16, 64),
+            "kmeans": (6, 20, 1),
+            "sobel": (9, 8, 1),
+        }
+        for name, (i, h, o) in expected.items():
+            topo = make_benchmark(name).spec.topology
+            assert (topo.inputs, topo.hidden, topo.outputs) == (i, h, o)
+
+    def test_paper_pruned_topologies_notation(self):
+        """The (D.B) notation of Table 1's pruned MEI column."""
+        expected = {
+            "fft": "(1.7)x16x(2.8)",
+            "inversek2j": "(2.8)x32x(2.8)",
+            "jmeint": "(18.6)x64x(2.1)",
+            "jpeg": "(64.6)x64x(64.7)",
+            "kmeans": "(6.6)x32x(1.8)",
+            "sobel": "(9.6)x16x(1.1)",
+        }
+        for name, notation in expected.items():
+            assert str(PAPER_TABLE1[name].pruned_mei) == notation
+
+    def test_paper_rows_consistent(self):
+        for name in BENCHMARK_NAMES:
+            row = PAPER_TABLE1[name]
+            assert 0 < row.area_saved < 1
+            assert 0 < row.power_saved < 1
+            assert row.name == name
+
+    def test_spec_rejects_unknown_metric(self):
+        from repro.cost.area import Topology
+
+        with pytest.raises(ValueError):
+            BenchmarkSpec("x", "app", Topology(1, 1, 1), metric="nope")
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+class TestBenchmarkDatasets:
+    def test_dataset_shapes(self, name):
+        bench = make_benchmark(name)
+        data = bench.dataset(n_train=128, n_test=32, seed=0)
+        topo = bench.spec.topology
+        assert data.x_train.shape == (128, topo.inputs)
+        assert data.y_train.shape == (128, topo.outputs)
+        assert data.x_test.shape == (32, topo.inputs)
+        assert data.in_dim == topo.inputs and data.out_dim == topo.outputs
+
+    def test_normalized_to_unit_interval(self, name):
+        bench = make_benchmark(name)
+        data = bench.dataset(n_train=256, n_test=64, seed=1)
+        for arr in (data.x_train, data.y_train, data.x_test, data.y_test):
+            assert arr.min() >= -1e-9
+            assert arr.max() <= 1.0 + 1e-9
+
+    def test_dataset_deterministic(self, name):
+        bench = make_benchmark(name)
+        a = bench.dataset(n_train=64, n_test=16, seed=3)
+        b = bench.dataset(n_train=64, n_test=16, seed=3)
+        assert np.array_equal(a.x_train, b.x_train)
+        assert np.array_equal(a.y_train, b.y_train)
+
+    def test_perfect_prediction_scores_zero(self, name):
+        bench = make_benchmark(name)
+        data = bench.dataset(n_train=64, n_test=32, seed=0)
+        assert bench.error_normalized(data.y_test, data.y_test) == 0.0
+
+    def test_wrong_prediction_scores_positive(self, name):
+        bench = make_benchmark(name)
+        data = bench.dataset(n_train=64, n_test=32, seed=0)
+        shuffled = data.y_test[::-1].copy()
+        if np.allclose(shuffled, data.y_test):
+            pytest.skip("degenerate targets")
+        assert bench.error_normalized(shuffled, data.y_test) > 0.0
+
+    def test_scaler_roundtrip(self, name):
+        bench = make_benchmark(name)
+        _, out_scaler = bench.scalers()
+        data = bench.dataset(n_train=64, n_test=16, seed=0)
+        raw = out_scaler.inverse(data.y_test)
+        assert np.allclose(out_scaler.transform(raw), data.y_test)
+
+
+class TestJmeintLabels:
+    def test_both_classes_present(self, rng):
+        bench = make_benchmark("jmeint")
+        _, y = bench.generate(400, rng)
+        rate = y[:, 0].mean()
+        assert 0.2 < rate < 0.8
+
+
+class TestMetrics:
+    def test_average_relative_error_basics(self):
+        pred = np.array([[1.1], [2.0]])
+        true = np.array([[1.0], [2.0]])
+        assert np.isclose(average_relative_error(pred, true), 0.05)
+
+    def test_relative_error_epsilon_guard(self):
+        pred = np.array([[0.001]])
+        true = np.array([[0.0]])
+        assert average_relative_error(pred, true, epsilon=0.01) == 0.1
+
+    def test_miss_rate_one_hot(self):
+        pred = np.array([[0.9, 0.1], [0.2, 0.8], [0.6, 0.4]])
+        true = np.array([[1.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        assert np.isclose(miss_rate(pred, true), 2 / 3)
+
+    def test_miss_rate_single_column(self):
+        pred = np.array([[0.7], [0.2]])
+        true = np.array([[1.0], [1.0]])
+        assert miss_rate(pred, true) == 0.5
+
+    def test_image_diff_normalization(self):
+        pred = np.full((4, 4), 10.0)
+        true = np.zeros((4, 4))
+        assert image_diff(pred, true, value_range=255.0) == 10.0 / 255.0
+
+    def test_image_diff_validation(self):
+        with pytest.raises(ValueError):
+            image_diff(np.zeros(4), np.zeros(4), value_range=0.0)
+        with pytest.raises(ValueError):
+            image_diff(np.zeros(4), np.zeros(5))

@@ -1,0 +1,124 @@
+"""Tests for the host-application pipelines around each oracle kernel.
+
+The paper's scenario is an accelerator *inside* an application; these
+tests exercise the host plumbing with exact kernels (the integration
+suite covers learned kernels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.fft import approximate_fft, radix2_fft, twiddle
+from repro.workloads.jpeg import (
+    blocks_to_image,
+    codec_roundtrip,
+    image_to_blocks,
+    synthetic_image,
+)
+from repro.workloads.kmeans import KMeansClusterer, rgb_distance, segment_image
+from repro.workloads.sobel import sobel_image, sobel_window
+
+
+class TestFFTHost:
+    def test_exact_twiddles_give_exact_fft(self, rng):
+        for n in (4, 32, 128):
+            signal = rng.normal(size=n)
+            assert np.allclose(approximate_fft(signal, twiddle), np.fft.fft(signal))
+
+    def test_parseval_energy_conservation(self, rng):
+        signal = rng.normal(size=64)
+        spectrum = radix2_fft(signal)
+        assert np.isclose(np.sum(np.abs(spectrum) ** 2) / 64, np.sum(signal**2))
+
+    def test_linearity(self, rng):
+        a = rng.normal(size=32)
+        b = rng.normal(size=32)
+        assert np.allclose(radix2_fft(a + 2 * b), radix2_fft(a) + 2 * radix2_fft(b))
+
+    def test_impulse_flat_spectrum(self):
+        impulse = np.zeros(16)
+        impulse[0] = 1.0
+        assert np.allclose(radix2_fft(impulse), np.ones(16))
+
+
+class TestJPEGHost:
+    def test_whole_image_roundtrip_quality_ordering(self, rng):
+        img = synthetic_image(40, 40, rng)
+        blocks = image_to_blocks(img)
+
+        def reconstruct(quality):
+            return blocks_to_image(codec_roundtrip(blocks, quality), 40, 40)
+
+        err90 = np.mean(np.abs(reconstruct(90) - img))
+        err30 = np.mean(np.abs(reconstruct(30) - img))
+        assert err90 < err30
+
+    def test_dc_only_block_survives_exactly(self):
+        flat = np.full((1, 8, 8), 144.0)
+        recon = codec_roundtrip(flat, 50)
+        assert np.allclose(recon, flat, atol=1.0)
+
+
+class TestKMeansHost:
+    def test_segmentation_reduces_color_count(self, rng):
+        from repro.workloads.kmeans import synthetic_rgb_image
+
+        img = synthetic_rgb_image(20, 20, rng, n_regions=4)
+        seg = segment_image(img, k=4, rng=0, max_iterations=6)
+        original_colors = len(np.unique(img.reshape(-1, 3), axis=0))
+        seg_colors = len(np.unique(seg.reshape(-1, 3), axis=0))
+        assert seg_colors <= 4 < original_colors
+
+    def test_distance_kernel_triangle_inequality(self, rng):
+        a = rng.uniform(0, 255, (20, 3))
+        b = rng.uniform(0, 255, (20, 3))
+        c = rng.uniform(0, 255, (20, 3))
+        ab = rgb_distance(np.concatenate([a, b], axis=1))[:, 0]
+        bc = rgb_distance(np.concatenate([b, c], axis=1))[:, 0]
+        ac = rgb_distance(np.concatenate([a, c], axis=1))[:, 0]
+        assert np.all(ac <= ab + bc + 1e-9)
+
+    def test_lloyd_objective_never_increases(self, rng):
+        """Within-cluster distance is monotonically non-increasing."""
+        points = rng.uniform(0, 255, (100, 3))
+        clusterer = KMeansClusterer(k=3, max_iterations=1)
+        clusterer.fit(points, rng=0)
+        prev_objective = None
+        for _ in range(5):
+            labels = clusterer.assign(points)
+            objective = sum(
+                float(np.sum((points[labels == j] - clusterer.centroids[j]) ** 2))
+                for j in range(3)
+            )
+            if prev_objective is not None:
+                assert objective <= prev_objective + 1e-6
+            prev_objective = objective
+            # One more Lloyd step from the current centroids.
+            for j in range(3):
+                members = points[labels == j]
+                if len(members):
+                    clusterer.centroids[j] = members.mean(axis=0)
+
+
+class TestSobelHost:
+    def test_rotation_symmetry(self):
+        """A horizontal edge and its transpose give the same magnitudes."""
+        img = np.zeros((12, 12))
+        img[6:, :] = 200.0
+        horizontal = sobel_image(img)
+        vertical = sobel_image(img.T)
+        assert np.allclose(horizontal, vertical.T)
+
+    def test_constant_image_zero_edges(self):
+        img = np.full((10, 10), 123.0)
+        assert np.allclose(sobel_image(img), 0.0)
+
+    def test_window_kernel_matches_image_operator(self, rng):
+        """The per-window kernel and the whole-image operator agree."""
+        img = rng.uniform(0, 255, (9, 9))
+        from repro.workloads.sobel import extract_windows
+
+        windows = extract_windows(img)
+        assert np.allclose(
+            sobel_window(windows).reshape(9, 9), sobel_image(img)
+        )

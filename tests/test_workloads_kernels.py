@@ -1,0 +1,285 @@
+"""Unit tests for the workload oracle kernels (the rebuilt substrates)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.expfit import gaussian_kernel
+from repro.workloads.fft import approximate_fft, radix2_fft, twiddle
+from repro.workloads.inversek2j import LINK1, LINK2, forward_kinematics, inverse_kinematics
+from repro.workloads.jmeint import triangles_intersect
+from repro.workloads.jpeg import (
+    block_dct,
+    block_idct,
+    blocks_to_image,
+    codec_roundtrip,
+    image_to_blocks,
+    quantization_table,
+    synthetic_image,
+    zigzag_indices,
+)
+from repro.workloads.kmeans import (
+    KMeansClusterer,
+    rgb_distance,
+    segment_image,
+    synthetic_rgb_image,
+)
+from repro.workloads.sobel import extract_windows, sobel_image, sobel_window
+
+
+class TestFFTKernel:
+    def test_matches_numpy_fft(self, rng):
+        for n in (1, 2, 8, 64):
+            signal = rng.normal(size=n) + 1j * rng.normal(size=n)
+            assert np.allclose(radix2_fft(signal), np.fft.fft(signal))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            radix2_fft(np.zeros(6))
+        with pytest.raises(ValueError):
+            radix2_fft(np.zeros(0))
+
+    def test_twiddle_unit_circle(self, rng):
+        tw = twiddle(rng.uniform(0, 1, 50))
+        assert np.allclose(tw[:, 0] ** 2 + tw[:, 1] ** 2, 1.0)
+
+    def test_twiddle_known_angles(self):
+        tw = twiddle(np.array([0.0, 0.25]))
+        assert np.allclose(tw[0], [1.0, 0.0], atol=1e-12)
+        assert np.allclose(tw[1], [0.0, -1.0], atol=1e-12)
+
+    def test_approximate_fft_with_exact_twiddles(self, rng):
+        signal = rng.normal(size=16)
+        assert np.allclose(approximate_fft(signal, twiddle), np.fft.fft(signal))
+
+    def test_approximate_fft_degrades_gracefully(self, rng):
+        signal = rng.normal(size=16)
+
+        def noisy_twiddle(fractions):
+            return twiddle(fractions) + 0.01
+
+        approx = approximate_fft(signal, noisy_twiddle)
+        exact = np.fft.fft(signal)
+        rel = np.abs(approx - exact).max() / np.abs(exact).max()
+        assert 0 < rel < 0.2
+
+
+class TestInverseK2J:
+    def test_roundtrip(self, rng):
+        theta = rng.uniform(0.0, np.pi / 2, (200, 2))
+        recovered = inverse_kinematics(forward_kinematics(theta))
+        assert np.allclose(recovered, theta, atol=1e-9)
+
+    def test_full_extension(self):
+        pos = forward_kinematics(np.array([[0.0, 0.0]]))
+        assert np.allclose(pos, [[LINK1 + LINK2, 0.0]])
+
+    def test_ik_clips_unreachable(self):
+        # A point outside the reach maps to a fully-extended arm.
+        theta = inverse_kinematics(np.array([[5.0, 0.0]]))
+        assert np.isclose(theta[0, 1], 0.0)
+
+    def test_fk_respects_link_lengths(self, rng):
+        theta = rng.uniform(0, np.pi / 2, (100, 2))
+        pos = forward_kinematics(theta)
+        dist = np.linalg.norm(pos, axis=1)
+        assert np.all(dist <= LINK1 + LINK2 + 1e-9)
+        assert np.all(dist >= abs(LINK1 - LINK2) - 1e-9)
+
+
+class TestJmeint:
+    def _pair(self, t1, t2):
+        return np.concatenate([np.ravel(t1), np.ravel(t2)])[None, :]
+
+    def test_identical_triangles_intersect(self):
+        t = [[0, 0, 0], [1, 0, 0], [0, 1, 0]]
+        assert triangles_intersect(self._pair(t, t))[0]
+
+    def test_far_triangles_miss(self):
+        t1 = [[0, 0, 0], [1, 0, 0], [0, 1, 0]]
+        t2 = [[5, 5, 5], [6, 5, 5], [5, 6, 5]]
+        assert not triangles_intersect(self._pair(t1, t2))[0]
+
+    def test_piercing_triangles_intersect(self):
+        # t2 pierces t1's plane through its interior.
+        t1 = [[0, 0, 0], [2, 0, 0], [0, 2, 0]]
+        t2 = [[0.5, 0.5, -1], [0.5, 0.5, 1], [1.5, 0.5, 0.5]]
+        assert triangles_intersect(self._pair(t1, t2))[0]
+
+    def test_parallel_planes_miss(self):
+        t1 = [[0, 0, 0], [1, 0, 0], [0, 1, 0]]
+        t2 = [[0, 0, 1], [1, 0, 1], [0, 1, 1]]
+        assert not triangles_intersect(self._pair(t1, t2))[0]
+
+    def test_coplanar_overlapping_intersect(self):
+        t1 = [[0, 0, 0], [2, 0, 0], [0, 2, 0]]
+        t2 = [[0.5, 0.5, 0], [1.5, 0.5, 0], [0.5, 1.5, 0]]
+        assert triangles_intersect(self._pair(t1, t2))[0]
+
+    def test_coplanar_disjoint_miss(self):
+        t1 = [[0, 0, 0], [1, 0, 0], [0, 1, 0]]
+        t2 = [[3, 3, 0], [4, 3, 0], [3, 4, 0]]
+        assert not triangles_intersect(self._pair(t1, t2))[0]
+
+    def test_crossing_plane_but_outside_miss(self):
+        # t2 crosses t1's plane but far from t1 itself.
+        t1 = [[0, 0, 0], [1, 0, 0], [0, 1, 0]]
+        t2 = [[5, 5, -1], [5, 6, 1], [6, 5, 1]]
+        assert not triangles_intersect(self._pair(t1, t2))[0]
+
+    def test_batch_shape_and_validation(self, rng):
+        rows = rng.uniform(0, 1, (7, 18))
+        assert triangles_intersect(rows).shape == (7,)
+        with pytest.raises(ValueError):
+            triangles_intersect(np.zeros((2, 17)))
+
+    def test_symmetry(self, rng):
+        rows = rng.uniform(0, 1, (50, 18))
+        swapped = np.concatenate([rows[:, 9:], rows[:, :9]], axis=1)
+        assert np.array_equal(triangles_intersect(rows), triangles_intersect(swapped))
+
+
+class TestJPEG:
+    def test_dct_orthonormal(self, rng):
+        blocks = rng.uniform(0, 255, (4, 8, 8))
+        assert np.allclose(block_idct(block_dct(blocks)), blocks)
+
+    def test_dct_dc_coefficient(self):
+        flat = np.full((1, 8, 8), 100.0)
+        coeffs = block_dct(flat)
+        assert np.isclose(coeffs[0, 0, 0], 800.0)  # 8 * mean
+        assert np.allclose(coeffs[0].reshape(-1)[1:], 0.0, atol=1e-10)
+
+    def test_quantization_table_quality(self):
+        q10 = quantization_table(10)
+        q90 = quantization_table(90)
+        assert np.all(q10 >= q90)
+        with pytest.raises(ValueError):
+            quantization_table(0)
+
+    def test_roundtrip_error_drops_with_quality(self, rng):
+        img = synthetic_image(32, 32, rng)
+        blocks = image_to_blocks(img)
+        err_low = np.abs(codec_roundtrip(blocks, 10) - blocks).mean()
+        err_high = np.abs(codec_roundtrip(blocks, 90) - blocks).mean()
+        assert err_high < err_low
+
+    def test_roundtrip_clipped_to_pixel_range(self, rng):
+        blocks = rng.uniform(0, 255, (3, 8, 8))
+        recon = codec_roundtrip(blocks, 50)
+        assert recon.min() >= 0.0 and recon.max() <= 255.0
+
+    def test_zigzag_is_permutation(self):
+        idx = zigzag_indices()
+        assert sorted(idx.tolist()) == list(range(64))
+        assert idx[0] == 0 and idx[1] == 1  # starts (0,0) -> (0,1)
+
+    def test_block_tiling_roundtrip(self, rng):
+        img = synthetic_image(24, 40, rng)
+        blocks = image_to_blocks(img)
+        assert blocks.shape == (3 * 5, 8, 8)
+        assert np.allclose(blocks_to_image(blocks, 24, 40), img)
+
+    def test_tiling_crops_to_block_multiple(self, rng):
+        img = synthetic_image(20, 20, rng)
+        assert image_to_blocks(img).shape == (4, 8, 8)
+
+
+class TestKMeans:
+    def test_distance_kernel(self):
+        pairs = np.array([[0, 0, 0, 3, 4, 0]], dtype=float)
+        assert np.isclose(rgb_distance(pairs)[0, 0], 5.0)
+
+    def test_distance_validation(self):
+        with pytest.raises(ValueError):
+            rgb_distance(np.zeros((1, 5)))
+
+    def test_clusterer_recovers_separated_clusters(self, rng):
+        centers = np.array([[10.0, 10, 10], [240.0, 240, 240]])
+        points = np.concatenate(
+            [centers[0] + rng.normal(0, 2, (50, 3)), centers[1] + rng.normal(0, 2, (50, 3))]
+        )
+        clusterer = KMeansClusterer(k=2).fit(points, rng=0)
+        found = clusterer.centroids[np.argsort(clusterer.centroids[:, 0])]
+        assert np.allclose(found, centers, atol=3.0)
+
+    def test_assign_consistent_with_fit(self, rng):
+        points = rng.uniform(0, 255, (60, 3))
+        clusterer = KMeansClusterer(k=3).fit(points, rng=0)
+        labels = clusterer.assign(points)
+        assert labels.shape == (60,)
+        assert set(labels) <= {0, 1, 2}
+
+    def test_assign_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            KMeansClusterer(k=2).assign(np.zeros((3, 3)))
+
+    def test_custom_distance_fn_is_used(self, rng):
+        calls = []
+
+        def spy(pairs):
+            calls.append(len(pairs))
+            return rgb_distance(pairs)
+
+        KMeansClusterer(k=2, distance_fn=spy, max_iterations=2).fit(
+            rng.uniform(0, 255, (20, 3)), rng=0
+        )
+        assert calls  # the pluggable kernel ran
+
+    def test_segment_image_paints_centroids(self, rng):
+        img = synthetic_rgb_image(16, 16, rng)
+        seg = segment_image(img, k=3, rng=0, max_iterations=5)
+        assert seg.shape == img.shape
+        # Each pixel equals one of at most 3 distinct colors.
+        colors = np.unique(seg.reshape(-1, 3), axis=0)
+        assert len(colors) <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMeansClusterer(k=0)
+        with pytest.raises(ValueError):
+            KMeansClusterer(k=5).fit(np.zeros((2, 3)))
+
+
+class TestSobel:
+    def test_flat_window_zero_gradient(self):
+        assert sobel_window(np.full((1, 9), 100.0))[0, 0] == 0.0
+
+    def test_vertical_edge(self):
+        window = np.array([[0, 0, 255, 0, 0, 255, 0, 0, 255]], dtype=float)
+        assert sobel_window(window)[0, 0] == 255.0  # clamped
+
+    def test_magnitude_clamped(self, rng):
+        windows = rng.uniform(0, 255, (100, 9))
+        mags = sobel_window(windows)
+        assert np.all((mags >= 0) & (mags <= 255))
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            sobel_window(np.zeros((1, 8)))
+
+    def test_extract_windows_center_pixel(self, rng):
+        img = rng.uniform(0, 255, (6, 7))
+        windows = extract_windows(img)
+        assert windows.shape == (42, 9)
+        # Window center (index 4) is the pixel itself.
+        assert np.allclose(windows[:, 4].reshape(6, 7), img)
+
+    def test_sobel_image_highlights_edges(self):
+        img = np.zeros((10, 10))
+        img[:, 5:] = 200.0
+        edges = sobel_image(img)
+        assert edges[:, 4:6].mean() > 50
+        assert edges[:, :3].mean() < 1e-9
+
+    def test_pluggable_window_fn(self):
+        img = np.zeros((5, 5))
+        out = sobel_image(img, window_fn=lambda w: np.full((len(w), 1), 7.0))
+        assert np.all(out == 7.0)
+
+
+class TestExpFit:
+    def test_kernel_values(self):
+        x = np.array([[0.0], [1.0]])
+        y = gaussian_kernel(x)
+        assert np.isclose(y[0, 0], 1.0)
+        assert np.isclose(y[1, 0], np.exp(-1.0))

@@ -1,0 +1,78 @@
+"""Tests for IR-drop compensation."""
+
+import numpy as np
+import pytest
+
+from repro.device.rram import HFOX_DEVICE, RRAMDevice
+from repro.xbar.compensation import (
+    compensate_ir_drop,
+    effective_coefficients,
+)
+from repro.xbar.crossbar import coefficients_from_conductance
+
+
+@pytest.fixture
+def array(rng):
+    return rng.uniform(HFOX_DEVICE.g_min, HFOX_DEVICE.g_max / 2, (16, 16))
+
+
+class TestEffectiveCoefficients:
+    def test_matches_ideal_without_wire_loss(self, array):
+        effective = effective_coefficients(array, g_s=1e-3, wire_resistance=1e-9)
+        ideal = coefficients_from_conductance(array, 1e-3)
+        assert np.allclose(effective, ideal, rtol=1e-3, atol=1e-6)
+
+    def test_wire_loss_shrinks_coefficients_on_average(self, array):
+        """IR drop reduces the bulk of the coefficients.  A few small
+        cells can slightly *gain* (their column's reduced loading lifts
+        the shared terminal voltage), so the check is aggregate."""
+        effective = effective_coefficients(array, g_s=1e-3, wire_resistance=10.0)
+        ideal = coefficients_from_conductance(array, 1e-3)
+        assert np.mean(ideal - effective) > 0
+        assert np.mean(effective <= ideal + 1e-12) > 0.9
+
+
+class TestCompensation:
+    def test_reduces_coefficient_error(self, array):
+        report = compensate_ir_drop(array, g_s=1e-3, wire_resistance=7.0)
+        assert report.error_after < report.error_before
+        assert report.improvement > 0.5
+
+    def test_moderate_ir_drop_nearly_eliminated(self, array):
+        report = compensate_ir_drop(array, g_s=1e-3, wire_resistance=3.0,
+                                    iterations=4)
+        assert report.error_after < 0.01
+
+    def test_extreme_ir_drop_saturates(self, rng):
+        """At very high wire resistance cells pin at g_max and the
+        residual error stays large — the paper's reason to stay at
+        90nm for big arrays."""
+        g = rng.uniform(HFOX_DEVICE.g_min, HFOX_DEVICE.g_max / 2, (32, 32))
+        report = compensate_ir_drop(g, g_s=1e-3, wire_resistance=26.0)
+        assert report.saturated_fraction > 0.01
+        assert report.improvement < 0.7
+
+    def test_output_within_device_window(self, array):
+        report = compensate_ir_drop(array, g_s=1e-3, wire_resistance=7.0)
+        assert np.all(report.conductances >= HFOX_DEVICE.g_min)
+        assert np.all(report.conductances <= HFOX_DEVICE.g_max)
+
+    def test_custom_target(self, array):
+        target = coefficients_from_conductance(array, 1e-3) * 0.9
+        report = compensate_ir_drop(array, g_s=1e-3, wire_resistance=5.0,
+                                    target=target)
+        effective = effective_coefficients(report.conductances, 1e-3, 5.0)
+        scale = np.max(np.abs(target))
+        assert np.max(np.abs(effective - target)) / scale < 0.05
+
+    def test_more_iterations_not_worse(self, array):
+        one = compensate_ir_drop(array, g_s=1e-3, wire_resistance=7.0, iterations=1)
+        four = compensate_ir_drop(array, g_s=1e-3, wire_resistance=7.0, iterations=4)
+        assert four.error_after <= one.error_after * 1.05
+
+    def test_validation(self, array):
+        with pytest.raises(ValueError):
+            compensate_ir_drop(array, g_s=1e-3, wire_resistance=5.0, iterations=0)
+        with pytest.raises(ValueError):
+            compensate_ir_drop(array, g_s=1e-3, wire_resistance=5.0,
+                               target=np.zeros((2, 2)))
