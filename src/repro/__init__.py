@@ -42,6 +42,16 @@ from repro.cost import (
 )
 from repro.device import HFOX_DEVICE, IDEAL, NonIdealFactors, RRAMDevice
 from repro.nn import MLP, TrainConfig, Trainer
+from repro.parallel import (
+    SerialExecutor,
+    ProcessExecutor,
+    ThreadExecutor,
+    derive_seed,
+    derive_seeds,
+    get_executor,
+    parallel_map,
+    resolve_workers,
+)
 from repro.quant import FixedPointCodec
 from repro.serialization import (
     load_mei,
@@ -83,6 +93,14 @@ __all__ = [
     "MLP",
     "Trainer",
     "TrainConfig",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "parallel_map",
+    "resolve_workers",
+    "derive_seed",
+    "derive_seeds",
     "FixedPointCodec",
     "Crossbar",
     "DifferentialCrossbar",

@@ -22,7 +22,13 @@ from typing import TYPE_CHECKING
 
 from repro.analog.periphery import SigmoidNeuron
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
-from repro.device.variation import IDEAL, NonIdealFactors
+from repro.device.variation import (
+    IDEAL,
+    NonIdealFactors,
+    TrialSpec,
+    lognormal_factor_stack,
+    trial_indices,
+)
 from repro.nn.network import MLP
 from repro.xbar.mapping import DifferentialCrossbar, MappingConfig
 
@@ -171,6 +177,79 @@ class AnalogMLP:
             pv_only = NonIdealFactors(sigma_pv=noise.sigma_pv, sigma_sf=0.0, seed=noise.seed)
         for xbar, neuron in zip(self.crossbars, self.neurons):
             analog = xbar.apply(out, pv_only, rng)
+            out = neuron.apply(analog)
+        if self.output_correction is not None:
+            gain, offset = self.output_correction
+            out = np.clip(gain * out + offset, 0.0, 1.0)
+        return out
+
+    def forward_trials(
+        self,
+        x: np.ndarray,
+        noise: NonIdealFactors = IDEAL,
+        trials: TrialSpec = 1,
+    ) -> np.ndarray:
+        """Batched analog forward pass over many Monte-Carlo trials.
+
+        Draws every trial's variation tensors up front (one generator
+        per trial, consumed in the serial order) and pushes one
+        ``(trials, samples, ports)`` stack through the layer chain, so
+        the per-trial Python loop collapses into stacked matmuls.
+
+        Parameters
+        ----------
+        x:
+            Inputs of shape ``(samples, ports)`` (or ``(ports,)``).
+        noise:
+            Non-ideal factors shared by all trials.
+        trials:
+            Trial count ``n`` (trials ``0..n-1``) or explicit trial
+            indices.
+
+        Returns
+        -------
+        Stack of shape ``(trials, samples, out_dim)``; slice ``[t]`` is
+        bit-identical to ``forward(x, noise, trial=t)``.
+        """
+        base = np.atleast_2d(np.asarray(x, dtype=float))
+        if base.shape[1] != self.in_dim:
+            raise ValueError(f"input has {base.shape[1]} ports, network expects {self.in_dim}")
+        indices = trial_indices(trials)
+        if noise.is_ideal:
+            out = self.forward(base)
+            return np.broadcast_to(out, (len(indices),) + out.shape).copy()
+        rngs = [noise.rng(t) for t in indices]
+        if noise.sigma_sf > 0:
+            fluctuated = base * lognormal_factor_stack(base.shape, noise.sigma_sf, rngs)
+            if self.digital_input:
+                out = (fluctuated >= 0.5).astype(float)
+            else:
+                out = fluctuated
+        else:
+            out = np.broadcast_to(base, (len(rngs),) + base.shape)
+        pv_only = None
+        pv_factor_args: "List" = [None] * len(self.crossbars)
+        if noise.sigma_pv > 0:
+            pv_only = NonIdealFactors(sigma_pv=noise.sigma_pv, sigma_sf=0.0, seed=noise.seed)
+            # Consolidate the whole network's PV draws into ONE
+            # generator call per trial: generator streams are
+            # call-size-agnostic, so one draw of `total` factors equals
+            # the serial per-array draw sequence bit for bit.  The flat
+            # buffer is then split back into per-array stacks.
+            shapes = [s for xbar in self.crossbars for s in xbar.pv_shapes()]
+            sizes = [int(np.prod(s)) for s in shapes]
+            total = int(sum(sizes))
+            flat = np.empty((len(rngs), total))
+            for t, rng in enumerate(rngs):
+                flat[t] = rng.lognormal(mean=0.0, sigma=noise.sigma_pv, size=total)
+            offsets = np.cumsum([0] + sizes)
+            chunks = iter(
+                flat[:, offsets[i]:offsets[i + 1]].reshape((len(rngs),) + tuple(shapes[i]))
+                for i in range(len(shapes))
+            )
+            pv_factor_args = [xbar.consume_pv_factors(chunks) for xbar in self.crossbars]
+        for xbar, neuron, pv_factors in zip(self.crossbars, self.neurons, pv_factor_args):
+            analog = xbar.apply_trials(out, pv_only, rngs, pv_factors=pv_factors)
             out = neuron.apply(analog)
         if self.output_correction is not None:
             gain, offset = self.output_correction

@@ -24,6 +24,7 @@ Robustness is quantified with :func:`repro.metrics.robustness_index`
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -77,6 +78,12 @@ class DSEConfig:
         candidate.
     seed:
         Base seed for learner initialization.
+    workers:
+        Worker count for the hidden-size candidate ladder (None =
+        ``REPRO_WORKERS`` env, default serial).  With more than one
+        worker the ladder's candidates train speculatively in
+        parallel; the Eq. 8 stopping walk then replays the serial
+        decision, so the selected architecture is identical.
     """
 
     error_requirement: float
@@ -92,6 +99,7 @@ class DSEConfig:
     power_params: CostParams = LITERATURE_POWER
     prune: bool = True
     seed: int = 0
+    workers: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.error_requirement <= 0:
@@ -137,14 +145,24 @@ def _evaluate(
     noise: NonIdealFactors,
     trials: int,
 ) -> Tuple[float, float]:
-    """(clean error, robustness index) of a trained system."""
+    """(clean error, robustness index) of a trained system.
+
+    The noisy statistics go through the system's batched
+    ``predict_trials`` path (one stacked crossbar pass for all trials)
+    — bit-identical to the serial Monte-Carlo loop under fixed seeds.
+    """
     clean = metric(system.predict(x), y)
     if noise.is_ideal:
         return clean, 1.0
-    noisy = evaluate_under_noise(
-        lambda xx, nn, t: system.predict(xx, nn, t), x, y, metric, noise, trials
-    ).mean
+    noisy = evaluate_under_noise(system, x, y, metric, noise, trials).mean
     return clean, robustness_index(clean, noisy)
+
+
+def _train_candidate(args) -> Tuple[MEI, float]:
+    """Train and score one hidden-size candidate (picklable task)."""
+    make_mei, hidden, seed, x_train, y_train, x_test, y_test, metric, train_config = args
+    mei = make_mei(hidden, seed).train(x_train, y_train, train_config)
+    return mei, float(metric(mei.predict(x_test), y_test))
 
 
 def search_hidden_size(
@@ -156,6 +174,7 @@ def search_hidden_size(
     metric: MetricFn,
     config: DSEConfig,
     train_config: Optional[TrainConfig] = None,
+    executor=None,
 ) -> Tuple[MEI, int, List[Tuple[int, float]]]:
     """Algorithm 2 Line 1: grow H until Eq. 8's change rate stalls.
 
@@ -163,18 +182,49 @@ def search_hidden_size(
     doubles the hidden size each step (the paper allows linear or
     exponential steps).
 
+    With a multi-worker executor (``config.workers`` /
+    ``REPRO_WORKERS``) every ladder candidate trains concurrently and
+    the Eq. 8 early-stopping walk replays the serial decision over the
+    precomputed errors — the selected MEI, its error, and the reported
+    history are identical to the serial search (candidates train
+    independently under the same seed), at the price of speculative
+    training beyond the stopping point.
+
     Returns the best trained MEI, its hidden size, and the
     (hidden, error) history.
     """
+    if executor is None:
+        from repro.parallel import get_executor
+
+        executor = get_executor(config.workers)
+    ladder: List[int] = []
+    hidden = config.initial_hidden
+    while hidden <= config.max_hidden:
+        ladder.append(hidden)
+        hidden *= 2
+
+    if getattr(executor, "workers", 1) > 1 and len(ladder) > 1:
+        tasks = [
+            (make_mei, h, config.seed, x_train, y_train, x_test, y_test, metric, train_config)
+            for h in ladder
+        ]
+        trained = executor.map(_train_candidate, tasks)
+        candidates = ((h, mei, error) for h, (mei, error) in zip(ladder, trained))
+    else:
+
+        def _lazy():
+            for h in ladder:
+                mei = make_mei(h, config.seed).train(x_train, y_train, train_config)
+                yield h, mei, float(metric(mei.predict(x_test), y_test))
+
+        candidates = _lazy()
+
     history: List[Tuple[int, float]] = []
     best: Optional[MEI] = None
     best_error = np.inf
-    hidden = config.initial_hidden
     previous_error: Optional[float] = None
-    while hidden <= config.max_hidden:
-        mei = make_mei(hidden, config.seed).train(x_train, y_train, train_config)
-        error = metric(mei.predict(x_test), y_test)
-        history.append((hidden, error))
+    for h, mei, error in candidates:
+        history.append((h, error))
         if error < best_error:
             best, best_error = mei, error
         if previous_error is not None and previous_error > 0:
@@ -182,7 +232,6 @@ def search_hidden_size(
             if eta < config.change_rate_threshold:
                 break
         previous_error = error
-        hidden *= 2
     assert best is not None
     return best, best.config.hidden, history
 
@@ -204,20 +253,23 @@ def explore(
     """
     log: List[str] = []
 
-    def make_mei(hidden: int, seed: int) -> MEI:
-        return MEI(
-            MEIConfig(
-                in_groups=traditional.inputs,
-                out_groups=traditional.outputs,
-                hidden=hidden,
-                bits=config.bits,
-            ),
-            seed=seed,
-        )
+    # functools.partial of a module-level builder (not a closure) so the
+    # candidate-ladder tasks can cross a process boundary.
+    make_mei = functools.partial(
+        _make_candidate_mei, traditional.inputs, traditional.outputs, config.bits
+    )
+    # The serial default each MEI.train would build for the ladder and
+    # wide-contender candidates (their seed is config.seed), minus the
+    # per-epoch full-dataset loss bookkeeping nobody reads during a
+    # sweep.  SAAB learners keep the raw train_config: their per-learner
+    # seeds drive their own shuffle defaults.
+    candidate_config = train_config
+    if candidate_config is None:
+        candidate_config = TrainConfig(shuffle_seed=config.seed, track_train_loss=False)
 
     # Line 1: hidden size search.
     r1, hidden, history = search_hidden_size(
-        make_mei, x_train, y_train, x_test, y_test, metric, config, train_config
+        make_mei, x_train, y_train, x_test, y_test, metric, config, candidate_config
     )
     log.append(f"hidden search: H={hidden}, history={history}")
 
@@ -271,7 +323,7 @@ def explore(
             )
             # Lines 18-19: the wider-hidden single-network contender.
             wide_hidden = min(hidden * k, config.max_hidden)
-            wide = make_mei(wide_hidden, config.seed).train(x_train, y_train, train_config)
+            wide = make_mei(wide_hidden, config.seed).train(x_train, y_train, candidate_config)
             wide_error, wide_rob = _evaluate(
                 wide, x_test, y_test, metric, config.noise, config.noise_trials
             )
@@ -320,6 +372,14 @@ def explore(
         power_saved=savings(traditional, topology, config.power_params).saved_fraction,
         hidden_history=history,
         log=log,
+    )
+
+
+def _make_candidate_mei(in_groups: int, out_groups: int, bits: int, hidden: int, seed: int) -> MEI:
+    """Module-level MEI builder for picklable DSE ladder tasks."""
+    return MEI(
+        MEIConfig(in_groups=in_groups, out_groups=out_groups, hidden=hidden, bits=bits),
+        seed=seed,
     )
 
 

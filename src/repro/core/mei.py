@@ -27,7 +27,7 @@ from repro.analog.periphery import Comparator
 from repro.core.deploy import AnalogMLP
 from repro.cost.area import MEITopology, Topology
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
-from repro.device.variation import IDEAL, NonIdealFactors
+from repro.device.variation import IDEAL, NonIdealFactors, TrialSpec
 from repro.nn.losses import WeightedMSE, mse
 from repro.nn.network import MLP
 from repro.nn.trainer import TrainConfig, Trainer
@@ -253,6 +253,27 @@ class MEI:
             hard = hard * self.out_mask
         return hard
 
+    def predict_bits_trials(
+        self,
+        x: np.ndarray,
+        noise: NonIdealFactors = IDEAL,
+        trials: TrialSpec = 1,
+    ) -> np.ndarray:
+        """Batched digital path over Monte-Carlo trials.
+
+        Returns a ``(trials, samples, ports)`` stack whose slice ``[t]``
+        is bit-identical to ``predict_bits(x, noise, trial=t)``; the
+        per-trial loop is replaced by one stacked crossbar pass.
+        """
+        if self.analog is None:
+            raise RuntimeError("train() or deploy() must run before predict_bits_trials()")
+        x_bits = self.encode_inputs(x)
+        analog_out = self.analog.forward_trials(x_bits, noise, trials)
+        hard = self.comparator.apply(analog_out)
+        if self.out_bits < self.bits:
+            hard = hard * self.out_mask
+        return hard
+
     def predict(
         self,
         x: np.ndarray,
@@ -261,6 +282,15 @@ class MEI:
     ) -> np.ndarray:
         """End-to-end unit-value prediction (bits decoded)."""
         return self.decode_outputs(self.predict_bits(x, noise, trial))
+
+    def predict_trials(
+        self,
+        x: np.ndarray,
+        noise: NonIdealFactors = IDEAL,
+        trials: TrialSpec = 1,
+    ) -> np.ndarray:
+        """Batched end-to-end prediction: ``(trials, samples, values)``."""
+        return self.decode_outputs(self.predict_bits_trials(x, noise, trials))
 
     def predict_digital(self, x: np.ndarray) -> np.ndarray:
         """Software-network prediction (pre-deployment check)."""

@@ -21,7 +21,7 @@ from repro.analog.converters import ADC, DAC
 from repro.core.deploy import AnalogMLP
 from repro.cost.area import Topology
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
-from repro.device.variation import IDEAL, NonIdealFactors
+from repro.device.variation import IDEAL, NonIdealFactors, TrialSpec
 from repro.nn.losses import WeightedMSE, mse
 from repro.nn.network import MLP
 from repro.nn.trainer import TrainConfig, Trainer
@@ -118,6 +118,25 @@ class TraditionalRCS:
         analog_out = self.analog.forward(analog_in, noise, trial)
         return self.adc.convert(analog_out)
 
+    def predict_trials(
+        self,
+        x: np.ndarray,
+        noise: NonIdealFactors = IDEAL,
+        trials: TrialSpec = 1,
+    ) -> np.ndarray:
+        """Batched mixed-signal path over Monte-Carlo trials.
+
+        Returns ``(trials, samples, outputs)``; slice ``[t]`` is
+        bit-identical to ``predict(x, noise, trial=t)`` for ideal
+        converters (``noise_lsb == 0``, the default — converter noise
+        is drawn from unseeded generators on both paths).
+        """
+        if self.analog is None:
+            raise RuntimeError("train() or deploy() must run before predict_trials()")
+        analog_in = self.dac.convert(np.asarray(x, dtype=float))
+        analog_out = self.analog.forward_trials(analog_in, noise, trials)
+        return self.adc.convert(analog_out)
+
     def predict_digital(self, x: np.ndarray) -> np.ndarray:
         """Ideal software network output (the 'Digital ANN' column)."""
         return self.network.predict(np.asarray(x, dtype=float))
@@ -133,6 +152,12 @@ class TraditionalRCS:
     ) -> np.ndarray:
         """Outputs as bit arrays (the ADC's digital code words)."""
         return self.codec.encode(self.predict(x, noise, trial))
+
+    def predict_bits_trials(
+        self, x: np.ndarray, noise: NonIdealFactors = IDEAL, trials: TrialSpec = 1
+    ) -> np.ndarray:
+        """Batched bit-array outputs: ``(trials, samples, ports)``."""
+        return self.codec.encode(self.predict_trials(x, noise, trials))
 
     def target_bits(self, y: np.ndarray) -> np.ndarray:
         """Unit targets encoded on the interface grid."""

@@ -27,7 +27,7 @@ from typing import Callable, List, Optional, Protocol
 
 import numpy as np
 
-from repro.device.variation import IDEAL, NonIdealFactors
+from repro.device.variation import IDEAL, NonIdealFactors, TrialSpec, trial_indices
 from repro.nn.datasets import resample
 from repro.nn.trainer import TrainConfig
 from repro.quant.binarray import msb_match
@@ -164,14 +164,22 @@ class SAAB:
             k = len(self.learners)
             probabilities = self._weights / self._weights.sum()  # Line 3
             learner = self.factory(k)
+            effective_config = train_config
+            if effective_config is None and hasattr(learner, "seed"):
+                # The learner's own default (shuffle by its seed), minus
+                # the per-epoch train-loss bookkeeping no boosting round
+                # reads — training results are unchanged.
+                effective_config = TrainConfig(
+                    shuffle_seed=learner.seed, track_train_loss=False
+                )
             if self.config.sampling == "resample":
                 # Line 4 literally: bootstrap by the distribution.
                 xs, ys = resample(x, y, probabilities, self.config.sample_size, self._rng)
-                learner.train(xs, ys, train_config)  # Line 5
+                learner.train(xs, ys, effective_config)  # Line 5
             else:
                 # Reweighting form: full set, per-sample loss weights
                 # normalized to mean 1 so learning rates are unchanged.
-                learner.train(x, y, train_config, sample_weights=probabilities * n)
+                learner.train(x, y, effective_config, sample_weights=probabilities * n)
 
             # Line 6: relaxed, noise-aware error on the *original* set.
             predicted = learner.predict_bits(x, self.config.noise, trial=k)
@@ -244,6 +252,43 @@ class SAAB:
             votes = weight * bits if votes is None else votes + weight * bits
         return (votes >= 0.5 * total).astype(float)
 
+    def predict_bits_trials(
+        self,
+        x: np.ndarray,
+        noise: NonIdealFactors = IDEAL,
+        trials: TrialSpec = 1,
+    ) -> np.ndarray:
+        """Batched weighted vote over Monte-Carlo trials.
+
+        Each learner pushes all its trials through the crossbars in one
+        stacked pass (keeping the serial trial numbering
+        ``trial * K + k``), and the alpha-weighted vote is taken over
+        the whole ``(trials, samples, ports)`` stack at once.  Slice
+        ``[t]`` is bit-identical to ``predict_bits(x, noise, trial=t)``.
+        """
+        if not self.is_trained:
+            raise RuntimeError("train() must run before predict_bits_trials()")
+        indices = trial_indices(trials)
+        n_learners = len(self.learners)
+        vote_weights = np.maximum(self.alphas, 0.0)
+        if vote_weights.sum() <= 0:
+            vote_weights = np.ones(n_learners)
+        total = vote_weights.sum()
+        votes = None
+        for k, (learner, weight) in enumerate(zip(self.learners, vote_weights)):
+            if weight == 0.0:
+                continue
+            learner_trials = [t * n_learners + k for t in indices]
+            batched = getattr(learner, "predict_bits_trials", None)
+            if batched is not None:
+                bits = batched(x, noise, trials=learner_trials)
+            else:
+                bits = np.stack(
+                    [learner.predict_bits(x, noise, trial=t) for t in learner_trials]
+                )
+            votes = weight * bits if votes is None else votes + weight * bits
+        return (votes >= 0.5 * total).astype(float)
+
     def predict(
         self,
         x: np.ndarray,
@@ -251,7 +296,19 @@ class SAAB:
         trial: int = 0,
     ) -> np.ndarray:
         """Voted bits decoded to unit values via the first learner."""
-        bits = self.predict_bits(x, noise, trial)
+        return self._decode(self.predict_bits(x, noise, trial))
+
+    def predict_trials(
+        self,
+        x: np.ndarray,
+        noise: NonIdealFactors = IDEAL,
+        trials: TrialSpec = 1,
+    ) -> np.ndarray:
+        """Batched ensemble prediction: ``(trials, samples, values)``."""
+        return self._decode(self.predict_bits_trials(x, noise, trials))
+
+    def _decode(self, bits: np.ndarray) -> np.ndarray:
+        """Decode hard vote bits to unit values via the first learner."""
         decode = getattr(self.learners[0], "decode_outputs", None)
         if decode is not None:
             return decode(bits)

@@ -19,10 +19,34 @@ paper finds MEI far more robust to SF than the analog AD/DA interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence, Union
 
 import numpy as np
 
-__all__ = ["NonIdealFactors", "lognormal_factors", "IDEAL"]
+__all__ = [
+    "NonIdealFactors",
+    "lognormal_factors",
+    "lognormal_factor_stack",
+    "trial_indices",
+    "IDEAL",
+]
+
+TrialSpec = Union[int, Sequence[int]]
+"""Monte-Carlo trial selector: a count ``n`` (meaning trials ``0..n-1``)
+or an explicit sequence of trial indices (used e.g. by SAAB, whose
+learners interleave their trial numbering)."""
+
+
+def trial_indices(trials: TrialSpec) -> List[int]:
+    """Normalize a trial spec into an explicit list of trial indices."""
+    if isinstance(trials, (int, np.integer)):
+        if trials < 1:
+            raise ValueError(f"trials must be >= 1, got {trials}")
+        return list(range(int(trials)))
+    indices = [int(t) for t in trials]
+    if not indices:
+        raise ValueError("trial index sequence must be non-empty")
+    return indices
 
 
 def lognormal_factors(
@@ -42,6 +66,28 @@ def lognormal_factors(
     if sigma == 0:
         return np.ones(shape)
     return rng.lognormal(mean=0.0, sigma=sigma, size=shape)
+
+
+def lognormal_factor_stack(
+    shape: "tuple | int",
+    sigma: float,
+    rngs: "Sequence[np.random.Generator]",
+) -> np.ndarray:
+    """Per-trial lognormal factors stacked into ``(trials,) + shape``.
+
+    Trial ``t``'s slice is drawn from ``rngs[t]`` with the exact
+    generator call :func:`lognormal_factors` makes, so the stack equals
+    looping that function trial by trial — the random draws stay in
+    serial order (the bit-identity requirement of the batched noise
+    path) while all downstream arithmetic runs once on the stack.
+    """
+    if sigma <= 0:
+        raise ValueError(f"sigma must be > 0, got {sigma}")
+    shape = (shape,) if isinstance(shape, (int, np.integer)) else tuple(shape)
+    out = np.empty((len(rngs),) + shape)
+    for t, rng in enumerate(rngs):
+        out[t] = rng.lognormal(mean=0.0, sigma=sigma, size=shape)
+    return out
 
 
 @dataclass(frozen=True)
@@ -76,6 +122,16 @@ class NonIdealFactors:
         if self.seed is None:
             return np.random.default_rng()
         return np.random.default_rng(self.seed + trial)
+
+    def rngs(self, trials: TrialSpec) -> "List[np.random.Generator]":
+        """One generator per Monte-Carlo trial (the batched-noise path).
+
+        Each generator is exactly ``self.rng(t)`` for that trial index,
+        so a vectorized evaluation that consumes the generators in the
+        same per-trial order as the serial loop draws bit-identical
+        variation tensors.
+        """
+        return [self.rng(t) for t in trial_indices(trials)]
 
     def perturb_conductance(
         self, g: np.ndarray, rng: "np.random.Generator | None" = None

@@ -84,72 +84,82 @@ class Fig4Result:
         return body and header + body + f"\naverage SAAB improvement: {self.average_improvement:.4f}"
 
 
+def _fig4_row(args) -> Fig4Row:
+    """One benchmark's four-system comparison (picklable sweep task)."""
+    name, scale, seed, max_k, params = args
+    bench = make_benchmark(name)
+    paper = PAPER_TABLE1[name]
+    data = bench.dataset(
+        n_train=train_samples_for(name, scale), n_test=scale.n_test, seed=seed
+    )
+    # Paper-strength budget (see module docstring), same for all
+    # four systems.
+    from repro.nn.trainer import TrainConfig
+
+    cfg = TrainConfig(
+        epochs=max(30, scale.epochs // 5),
+        batch_size=64,
+        learning_rate=0.01,
+        shuffle_seed=seed,
+    )
+    topology = bench.spec.topology
+
+    digital = MLP((topology.inputs, topology.hidden, topology.outputs), rng=seed)
+    Trainer(config=cfg).fit(digital, data.x_train, data.y_train)
+    err_digital = bench.error_normalized(digital.predict(data.x_test), data.y_test)
+
+    rcs = TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg)
+    err_adda = bench.error_normalized(rcs.predict(data.x_test), data.y_test)
+
+    mei_config = MEIConfig(
+        in_groups=topology.inputs,
+        out_groups=topology.outputs,
+        hidden=paper.pruned_mei.hidden,
+        bits=topology.bits,
+    )
+    k_max = max_saab_learners(topology, paper.pruned_mei, params["area"], params["power"])
+    k = max(2, min(k_max, max_k))
+    # Default (weighted) SAAB trains its first learner on the full
+    # set with uniform weights — that learner IS the standalone
+    # Table 1 MEI, so it provides the MEI bar directly.
+    saab = SAAB(
+        lambda i: MEI(mei_config, seed=seed + i),
+        SAABConfig(n_learners=k, compare_bits=4, seed=seed),
+    ).train(data.x_train, data.y_train, cfg)
+    err_mei = bench.error_normalized(saab.learners[0].predict(data.x_test), data.y_test)
+    err_saab = bench.error_normalized(saab.predict(data.x_test), data.y_test)
+
+    return Fig4Row(
+        name=name,
+        k_used=k,
+        accuracy_digital=1.0 - err_digital,
+        accuracy_adda=1.0 - err_adda,
+        accuracy_mei=1.0 - err_mei,
+        accuracy_saab=1.0 - err_saab,
+    )
+
+
 def run_fig4(
     names: Sequence[str] = BENCHMARK_NAMES,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     max_k: int = 4,
     params: Optional[Dict[str, CostParams]] = None,
+    workers: Optional[int] = None,
 ) -> Fig4Result:
     """Regenerate the Fig. 4 comparison.
 
     ``max_k`` caps the ensemble size for runtime; Eq. 9's bound is
     computed from the calibrated cost model and clipped to it.
+
+    The benchmark rows are independent; pass ``workers`` (or set
+    ``REPRO_WORKERS``) to train them concurrently with identical
+    results.
     """
+    from repro.parallel import get_executor
+
     scale = scale if scale is not None else default_scale()
     params = params if params is not None else calibrated_params()
-    result = Fig4Result()
-    for name in names:
-        bench = make_benchmark(name)
-        paper = PAPER_TABLE1[name]
-        data = bench.dataset(
-            n_train=train_samples_for(name, scale), n_test=scale.n_test, seed=seed
-        )
-        # Paper-strength budget (see module docstring), same for all
-        # four systems.
-        from repro.nn.trainer import TrainConfig
-
-        cfg = TrainConfig(
-            epochs=max(30, scale.epochs // 5),
-            batch_size=64,
-            learning_rate=0.01,
-            shuffle_seed=seed,
-        )
-        topology = bench.spec.topology
-
-        digital = MLP((topology.inputs, topology.hidden, topology.outputs), rng=seed)
-        Trainer(config=cfg).fit(digital, data.x_train, data.y_train)
-        err_digital = bench.error_normalized(digital.predict(data.x_test), data.y_test)
-
-        rcs = TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg)
-        err_adda = bench.error_normalized(rcs.predict(data.x_test), data.y_test)
-
-        mei_config = MEIConfig(
-            in_groups=topology.inputs,
-            out_groups=topology.outputs,
-            hidden=paper.pruned_mei.hidden,
-            bits=topology.bits,
-        )
-        k_max = max_saab_learners(topology, paper.pruned_mei, params["area"], params["power"])
-        k = max(2, min(k_max, max_k))
-        # Default (weighted) SAAB trains its first learner on the full
-        # set with uniform weights — that learner IS the standalone
-        # Table 1 MEI, so it provides the MEI bar directly.
-        saab = SAAB(
-            lambda i: MEI(mei_config, seed=seed + i),
-            SAABConfig(n_learners=k, compare_bits=4, seed=seed),
-        ).train(data.x_train, data.y_train, cfg)
-        err_mei = bench.error_normalized(saab.learners[0].predict(data.x_test), data.y_test)
-        err_saab = bench.error_normalized(saab.predict(data.x_test), data.y_test)
-
-        result.rows.append(
-            Fig4Row(
-                name=name,
-                k_used=k,
-                accuracy_digital=1.0 - err_digital,
-                accuracy_adda=1.0 - err_adda,
-                accuracy_mei=1.0 - err_mei,
-                accuracy_saab=1.0 - err_saab,
-            )
-        )
-    return result
+    executor = get_executor(workers)
+    rows = executor.map(_fig4_row, [(name, scale, seed, max_k, params) for name in names])
+    return Fig4Result(rows=rows)

@@ -81,63 +81,89 @@ def _noise(noise_type: str, sigma: float, seed: int) -> NonIdealFactors:
     raise ValueError(f"unknown noise type {noise_type!r}")
 
 
+def _fig5_benchmark(args) -> List[Fig5Curve]:
+    """All of one benchmark's curves (picklable sweep task).
+
+    Each system's noise sweep goes through the batched
+    ``predict_trials`` path: all Monte-Carlo trials of a (system,
+    sigma) point run as one stacked crossbar pass, bit-identical to
+    the serial per-trial loop.
+    """
+    name, sigmas, scale, seed, k = args
+    bench = make_benchmark(name)
+    paper = PAPER_TABLE1[name]
+    data = bench.dataset(
+        n_train=train_samples_for(name, scale), n_test=scale.n_test, seed=seed
+    )
+    cfg = train_config(scale, seed)
+    topology = bench.spec.topology
+    hidden = paper.pruned_mei.hidden
+
+    mei_config = MEIConfig(topology.inputs, topology.outputs, hidden, topology.bits)
+    wide_config = MEIConfig(topology.inputs, topology.outputs, hidden * k, topology.bits)
+
+    systems = {
+        "adda": TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg),
+        "mei": MEI(mei_config, seed=seed).train(data.x_train, data.y_train, cfg),
+        "saab": SAAB(
+            lambda i: MEI(mei_config, seed=seed + 1 + i),
+            SAABConfig(
+                n_learners=k,
+                compare_bits=5,
+                noise=NonIdealFactors(sigma_pv=0.05, sigma_sf=0.05, seed=seed),
+                seed=seed,
+            ),
+        ).train(data.x_train, data.y_train, cfg),
+        "wide": MEI(wide_config, seed=seed).train(data.x_train, data.y_train, cfg),
+    }
+
+    metric = bench.error_normalized
+    curves: List[Fig5Curve] = []
+    for system_name, system in systems.items():
+        for noise_type in ("pv", "sf"):
+            curve = Fig5Curve(benchmark=name, system=system_name, noise_type=noise_type)
+            for sigma in sigmas:
+                noise = _noise(noise_type, float(sigma), seed + 99)
+                evaluation = evaluate_under_noise(
+                    system,
+                    data.x_test,
+                    data.y_test,
+                    metric,
+                    noise,
+                    trials=scale.noise_trials,
+                )
+                curve.sigmas.append(float(sigma))
+                curve.errors.append(evaluation.mean)
+            curves.append(curve)
+    return curves
+
+
 def run_fig5(
     names: Sequence[str] = DEFAULT_BENCHMARKS,
     sigmas: Sequence[float] = DEFAULT_SIGMAS,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     k: int = 3,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
     """Regenerate the Fig. 5 noise sweeps.
 
     ``k`` is the SAAB ensemble size and the hidden-layer multiplier of
     the wider-hidden contender.
+
+    The benchmark rows are independent; pass ``workers`` (or set
+    ``REPRO_WORKERS``) to train/evaluate them concurrently with
+    identical results.
     """
+    from repro.parallel import get_executor
+
     scale = scale if scale is not None else default_scale()
+    executor = get_executor(workers)
+    sigmas = tuple(float(s) for s in sigmas)
+    per_benchmark = executor.map(
+        _fig5_benchmark, [(name, sigmas, scale, seed, k) for name in names]
+    )
     result = Fig5Result()
-    for name in names:
-        bench = make_benchmark(name)
-        paper = PAPER_TABLE1[name]
-        data = bench.dataset(
-            n_train=train_samples_for(name, scale), n_test=scale.n_test, seed=seed
-        )
-        cfg = train_config(scale, seed)
-        topology = bench.spec.topology
-        hidden = paper.pruned_mei.hidden
-
-        mei_config = MEIConfig(topology.inputs, topology.outputs, hidden, topology.bits)
-        wide_config = MEIConfig(topology.inputs, topology.outputs, hidden * k, topology.bits)
-
-        systems = {
-            "adda": TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg),
-            "mei": MEI(mei_config, seed=seed).train(data.x_train, data.y_train, cfg),
-            "saab": SAAB(
-                lambda i: MEI(mei_config, seed=seed + 1 + i),
-                SAABConfig(
-                    n_learners=k,
-                    compare_bits=5,
-                    noise=NonIdealFactors(sigma_pv=0.05, sigma_sf=0.05, seed=seed),
-                    seed=seed,
-                ),
-            ).train(data.x_train, data.y_train, cfg),
-            "wide": MEI(wide_config, seed=seed).train(data.x_train, data.y_train, cfg),
-        }
-
-        metric = bench.error_normalized
-        for system_name, system in systems.items():
-            for noise_type in ("pv", "sf"):
-                curve = Fig5Curve(benchmark=name, system=system_name, noise_type=noise_type)
-                for sigma in sigmas:
-                    noise = _noise(noise_type, float(sigma), seed + 99)
-                    evaluation = evaluate_under_noise(
-                        lambda xx, nn, t: system.predict(xx, nn, t),
-                        data.x_test,
-                        data.y_test,
-                        metric,
-                        noise,
-                        trials=scale.noise_trials,
-                    )
-                    curve.sigmas.append(float(sigma))
-                    curve.errors.append(evaluation.mean)
-                result.curves.append(curve)
+    for curves in per_benchmark:
+        result.curves.extend(curves)
     return result

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.nn.trainer import TrainConfig
+from repro.parallel import get_executor
 
 __all__ = [
     "ExperimentScale",
@@ -67,11 +68,15 @@ def default_scale() -> ExperimentScale:
     return FULL_SCALE if os.environ.get("REPRO_FULL", "") == "1" else QUICK_SCALE
 
 
-def train_config(scale: ExperimentScale, seed: int = 0) -> TrainConfig:
+def train_config(
+    scale: ExperimentScale, seed: int = 0, track_train_loss: bool = True
+) -> TrainConfig:
     """The standard training recipe at a given scale.
 
     Adam with a step learning-rate decay; sized so the paper's small
-    topologies converge at either scale.
+    topologies converge at either scale.  Sweep-heavy callers can set
+    ``track_train_loss=False`` to skip the per-epoch full-dataset loss
+    bookkeeping (training results are unchanged).
     """
     # Small batches matter more than epochs for these tiny networks:
     # the paper-scale topologies need the extra gradient steps.
@@ -82,22 +87,32 @@ def train_config(scale: ExperimentScale, seed: int = 0) -> TrainConfig:
         shuffle_seed=seed,
         lr_decay=0.5,
         lr_decay_every=max(1, scale.epochs // 2),
+        track_train_loss=track_train_loss,
     )
 
 
-def repeat_with_seeds(fn, seeds: Sequence[int]):
+def repeat_with_seeds(fn, seeds: Sequence[int], workers: Optional[int] = None,
+                      executor=None):
     """Run ``fn(seed) -> float`` across seeds; return (mean, std, values).
 
     The paper reports single-run numbers; reviewers usually want
     seed-averaged ones.  Use with any experiment entry point, e.g.
     ``repeat_with_seeds(lambda s: run_benchmark_row('fft', seed=s).error_mei,
     range(3))``.
+
+    Seed repeats are embarrassingly parallel: pass ``workers`` (or set
+    ``REPRO_WORKERS``) or an explicit :mod:`repro.parallel` executor to
+    fan them out.  Results keep seed order, so serial and parallel runs
+    agree bit for bit (``fn`` must be a picklable top-level callable
+    for process-based executors; otherwise the map degrades to serial).
     """
     import numpy as np
 
+    seeds = list(seeds)
     if not seeds:
         raise ValueError("need at least one seed")
-    values = np.array([float(fn(seed)) for seed in seeds])
+    executor = executor if executor is not None else get_executor(workers)
+    values = np.array([float(v) for v in executor.map(fn, seeds)])
     return float(values.mean()), float(values.std()), values
 
 

@@ -37,6 +37,7 @@ REPORT_ORDER = (
     "ext_timing",
     "ext_variation_aware",
     "tradeoff_kmeans",
+    "bench_parallel",
 )
 
 

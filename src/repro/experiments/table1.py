@@ -234,13 +234,27 @@ def run_benchmark_row(
     )
 
 
+def _row_task(args) -> Table1Row:
+    """One benchmark row (module-level so process pools can pickle it)."""
+    return run_benchmark_row(*args)
+
+
 def run_table1(
     names: Sequence[str] = BENCHMARK_NAMES,
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> Table1Result:
-    """Regenerate the full Table 1."""
+    """Regenerate the full Table 1.
+
+    The per-benchmark rows are independent; pass ``workers`` (or set
+    ``REPRO_WORKERS``) to train them concurrently.  Row order and
+    numbers match the serial run exactly.
+    """
+    from repro.parallel import get_executor
+
     params = calibrated_params()
+    executor = get_executor(workers)
     return Table1Result(
-        rows=[run_benchmark_row(name, scale, seed, params) for name in names]
+        rows=executor.map(_row_task, [(name, scale, seed, params) for name in names])
     )

@@ -11,23 +11,37 @@ takes a robustness requirement ``gamma``; we define
 so ``gamma`` in (0, 1] and larger is more robust (1 = noise changes
 nothing).  The definition matters only as a monotone ranking — the DSE
 compares candidates under the *same* metric.
+
+Performance: :func:`evaluate_under_noise` prefers a *batched* predictor
+(``predict_trials`` on the deployed systems) that pushes a
+``(trials, samples, ports)`` stack through the crossbars in one pass —
+bit-identical to the serial per-trial loop under fixed seeds (see
+``docs/performance.md``).  :func:`noise_sweep` optionally fans the
+noise levels out over a :mod:`repro.parallel` executor.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.device.variation import NonIdealFactors
+from repro.device.variation import NonIdealFactors, TrialSpec
 
 __all__ = ["NoisyEvaluation", "evaluate_under_noise", "robustness_index", "noise_sweep"]
 
 Predictor = Callable[[np.ndarray, NonIdealFactors, int], np.ndarray]
 """Signature: (inputs, noise, trial) -> predictions."""
 
+BatchPredictor = Callable[[np.ndarray, NonIdealFactors, TrialSpec], np.ndarray]
+"""Signature: (inputs, noise, trials) -> stacked (trials, ...) predictions."""
+
 Metric = Callable[[np.ndarray, np.ndarray], float]
+
+PredictorLike = Union[Predictor, object]
+"""A per-trial callable, or a system object exposing ``predict`` (and
+ideally ``predict_trials`` for the vectorized path)."""
 
 
 @dataclass(frozen=True)
@@ -52,24 +66,48 @@ class NoisyEvaluation:
 
 
 def evaluate_under_noise(
-    predictor: Predictor,
+    predictor: PredictorLike,
     x: np.ndarray,
     y_true: np.ndarray,
     metric: Metric,
     noise: NonIdealFactors,
     trials: int = 30,
+    batch_predictor: Optional[BatchPredictor] = None,
+    vectorize: bool = True,
 ) -> NoisyEvaluation:
     """Run the predictor ``trials`` times under fresh noise draws.
 
     Each trial re-draws process variation and signal fluctuation (via
     the trial index fed to the noise object's RNG), mirroring the
     paper's 1,000-evaluation statistics at a configurable budget.
+
+    Parameters
+    ----------
+    predictor:
+        Either a callable ``(x, noise, trial) -> predictions`` or a
+        deployed system object (``MEI``/``SAAB``/``TraditionalRCS``)
+        exposing ``predict``.
+    batch_predictor:
+        Explicit ``(x, noise, trials) -> (trials, ...)`` stack
+        predictor.  Defaults to the predictor's own ``predict_trials``
+        (when present and ``vectorize`` is true), which draws all
+        trials' variation tensors up front and replaces the per-trial
+        loop with stacked matmuls — bit-identical under fixed seeds.
+    vectorize:
+        Set False to force the serial per-trial reference loop.
     """
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     if noise.is_ideal:
         trials = 1
-    values = np.array([metric(predictor(x, noise, t), y_true) for t in range(trials)])
+    if batch_predictor is None and vectorize:
+        batch_predictor = getattr(predictor, "predict_trials", None)
+    if batch_predictor is not None:
+        stack = np.asarray(batch_predictor(x, noise, trials))
+        values = np.array([metric(stack[t], y_true) for t in range(trials)])
+    else:
+        fn = predictor if callable(predictor) else predictor.predict
+        values = np.array([metric(fn(x, noise, t), y_true) for t in range(trials)])
     return NoisyEvaluation(noise=noise, trials=trials, values=values)
 
 
@@ -87,13 +125,34 @@ def robustness_index(clean_error: float, noisy_error: float) -> float:
     return min(1.0, clean_error / noisy_error)
 
 
+def _sweep_task(args) -> NoisyEvaluation:
+    """One noise level of a sweep (module-level for pickling)."""
+    predictor, x, y_true, metric, noise, trials, vectorize = args
+    return evaluate_under_noise(
+        predictor, x, y_true, metric, noise, trials, vectorize=vectorize
+    )
+
+
 def noise_sweep(
-    predictor: Predictor,
+    predictor: PredictorLike,
     x: np.ndarray,
     y_true: np.ndarray,
     metric: Metric,
     noises: Sequence[NonIdealFactors],
     trials: int = 30,
+    vectorize: bool = True,
+    workers: Optional[int] = None,
+    executor=None,
 ) -> List[NoisyEvaluation]:
-    """Evaluate a predictor across a list of noise levels (Fig. 5 axis)."""
-    return [evaluate_under_noise(predictor, x, y_true, metric, n, trials) for n in noises]
+    """Evaluate a predictor across a list of noise levels (Fig. 5 axis).
+
+    The noise levels are embarrassingly parallel; pass ``workers`` (or
+    set ``REPRO_WORKERS``) or an explicit :mod:`repro.parallel`
+    executor to fan them out.  Results keep the input order and are
+    identical to the serial sweep (each level owns its seeds).
+    """
+    from repro.parallel import get_executor
+
+    executor = executor if executor is not None else get_executor(workers)
+    tasks = [(predictor, x, y_true, metric, n, trials, vectorize) for n in noises]
+    return executor.map(_sweep_task, tasks)

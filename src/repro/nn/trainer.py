@@ -48,6 +48,14 @@ class TrainConfig:
     """L2 weight-decay coefficient added to the weight gradients (biases
     are not decayed).  Small weights also map onto a narrower
     conductance range, easing crossbar programming.  0 disables."""
+    track_train_loss: bool = True
+    """Record the full-dataset training loss each logged epoch.  The
+    extra full forward pass is pure bookkeeping — sweep-heavy callers
+    (DSE candidate ladders, SAAB rounds) that never read the history
+    should disable it.  Training results are unchanged either way."""
+    log_every: int = 1
+    """Record the training loss every this many epochs (the final epoch
+    is always recorded).  Only consulted when ``track_train_loss``."""
 
     def __post_init__(self) -> None:
         if self.epochs < 1:
@@ -66,6 +74,8 @@ class TrainConfig:
             )
         if self.l2 < 0:
             raise ValueError(f"l2 must be >= 0, got {self.l2}")
+        if self.log_every < 1:
+            raise ValueError(f"log_every must be >= 1, got {self.log_every}")
 
 
 @dataclass
@@ -164,7 +174,13 @@ class Trainer:
                         layer.grad_weights += self.config.l2 * layer.weights
                 optimizer.step(model.layers)
 
-            result.train_losses.append(self.loss.value(model.predict(x), y, sample_weights))
+            if self.config.track_train_loss and (
+                (epoch + 1) % self.config.log_every == 0
+                or epoch + 1 == self.config.epochs
+            ):
+                result.train_losses.append(
+                    self.loss.value(model.predict(x), y, sample_weights)
+                )
             result.epochs_run = epoch + 1
 
             if x_val is not None and y_val is not None:

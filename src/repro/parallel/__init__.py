@@ -1,0 +1,37 @@
+"""Parallel sweep engine: executors + deterministic seeding.
+
+The repository's statistical evaluation plane (Monte-Carlo robustness,
+DSE candidate ladders, seed repeats, per-benchmark experiment rows) is
+embarrassingly parallel.  This package provides the order-preserving
+executor abstraction those sweeps run on and the deterministic
+per-task seed derivation that keeps serial and parallel runs
+bit-identical.  Configure with ``REPRO_WORKERS`` / ``REPRO_EXECUTOR``
+or explicit ``workers=`` arguments; see ``docs/performance.md``.
+"""
+
+from repro.parallel.executor import (
+    EXECUTOR_ENV,
+    WORKERS_ENV,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    parallel_map,
+    resolve_workers,
+)
+from repro.parallel.seeding import derive_seed, derive_seeds
+
+__all__ = [
+    "WORKERS_ENV",
+    "EXECUTOR_ENV",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_workers",
+    "get_executor",
+    "parallel_map",
+    "derive_seed",
+    "derive_seeds",
+]

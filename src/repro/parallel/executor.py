@@ -1,0 +1,193 @@
+"""Executor abstraction for embarrassingly-parallel sweeps.
+
+The evaluation plane of this repository — Monte-Carlo robustness
+statistics, DSE hidden-size ladders, seed repeats, per-benchmark
+experiment rows — is a set of pure, independent tasks.  This module
+provides a minimal, deterministic ``map`` abstraction over them:
+
+* :class:`SerialExecutor` — the reference implementation (a list
+  comprehension);
+* :class:`ThreadExecutor` — threads; useful when the work releases the
+  GIL (large NumPy matmuls, the MNA sparse solves);
+* :class:`ProcessExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  for Python-bound work (training loops).  Falls back to serial
+  execution, with a warning, when the task function or its arguments
+  cannot be pickled — results are identical either way because tasks
+  are pure.
+
+Worker counts resolve from (in priority order) an explicit argument,
+the ``REPRO_WORKERS`` environment variable, and a serial default of 1;
+the executor kind resolves from ``REPRO_EXECUTOR``
+(``serial`` / ``thread`` / ``process``).  All executors preserve input
+order, so parallel and serial runs return bit-identical result lists
+for deterministic tasks.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = [
+    "WORKERS_ENV",
+    "EXECUTOR_ENV",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_workers",
+    "get_executor",
+    "parallel_map",
+]
+
+WORKERS_ENV = "REPRO_WORKERS"
+"""Environment variable holding the default worker count."""
+
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+"""Environment variable selecting the executor kind for multi-worker
+runs: ``serial``, ``thread`` or ``process`` (default ``process``)."""
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Worker count: explicit argument > ``REPRO_WORKERS`` > 1."""
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-integer {WORKERS_ENV}={raw!r}; running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 1
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+class Executor:
+    """Order-preserving ``map`` over independent tasks."""
+
+    workers: int = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialExecutor(Executor):
+    """The in-process reference executor."""
+
+    workers = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool executor for GIL-releasing (NumPy/SciPy-bound) tasks."""
+
+    def __init__(self, workers: int):
+        self.workers = resolve_workers(workers)
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+
+
+class ProcessExecutor(Executor):
+    """Process-pool executor for Python-bound tasks.
+
+    Tasks must be picklable to cross the process boundary; when they
+    are not (lambdas, closures over local state), the map degrades to
+    the serial reference path with a :class:`RuntimeWarning` instead of
+    failing — the results are identical because sweep tasks are pure.
+    """
+
+    def __init__(self, workers: int):
+        self.workers = resolve_workers(workers)
+
+    @staticmethod
+    def _picklable(*objects) -> bool:
+        try:
+            for obj in objects:
+                pickle.dumps(obj)
+        except Exception:
+            return False
+        return True
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> List[R]:
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        if not self._picklable(fn, items):
+            warnings.warn(
+                "task function or arguments are not picklable; "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
+                return list(pool.map(fn, items))
+        except BrokenProcessPool:
+            warnings.warn(
+                "process pool broke mid-sweep; re-running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return [fn(item) for item in items]
+
+
+def get_executor(
+    workers: Optional[int] = None, kind: Optional[str] = None
+) -> Executor:
+    """Build the executor implied by arguments and environment.
+
+    ``workers`` resolves via :func:`resolve_workers`; one worker yields
+    the :class:`SerialExecutor`, more yield the kind selected by the
+    ``kind`` argument or ``REPRO_EXECUTOR`` (default ``process``).
+    """
+    count = resolve_workers(workers)
+    if count <= 1:
+        return SerialExecutor()
+    kind = kind if kind is not None else os.environ.get(EXECUTOR_ENV, "process").strip()
+    kind = (kind or "process").lower()
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(count)
+    if kind == "process":
+        return ProcessExecutor(count)
+    raise ValueError(f"unknown executor kind {kind!r}; use serial, thread or process")
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    executor: Optional[Executor] = None,
+) -> List[R]:
+    """Map ``fn`` over ``items`` on the configured executor."""
+    executor = executor if executor is not None else get_executor(workers)
+    return executor.map(fn, items)

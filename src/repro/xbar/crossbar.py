@@ -28,7 +28,7 @@ from typing import Optional
 import numpy as np
 
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
-from repro.device.variation import NonIdealFactors
+from repro.device.variation import NonIdealFactors, lognormal_factor_stack
 
 __all__ = ["Crossbar", "coefficients_from_conductance", "sinh_nonlinearity"]
 
@@ -147,4 +147,85 @@ class Crossbar:
         if self.nonlinearity > 0:
             v_in = sinh_nonlinearity(v_in, self.nonlinearity)
         c = self.coefficients(noise, rng)
+        return v_in @ c
+
+    def pv_shapes(self) -> "list":
+        """Conductance-array shapes, in per-trial PV draw order."""
+        return [self.conductances.shape]
+
+    def consume_pv_factors(self, chunks) -> np.ndarray:
+        """Take this array's PV factor stack from an ordered iterator.
+
+        ``chunks`` yields ``(trials,) + shape`` stacks in
+        :meth:`pv_shapes` order (see
+        :meth:`repro.core.deploy.AnalogMLP.forward_trials`, which draws
+        the whole network's PV factors with one generator call per
+        trial and splits them here).
+        """
+        return next(chunks)
+
+    def apply_trials(
+        self,
+        v_in: np.ndarray,
+        noise: Optional[NonIdealFactors] = None,
+        rngs: "Optional[list]" = None,
+        pv_factors: "Optional[np.ndarray]" = None,
+    ) -> np.ndarray:
+        """Batched Monte-Carlo matrix-vector product over noise trials.
+
+        Parameters
+        ----------
+        v_in:
+            Input voltage stack of shape ``(trials, batch, rows)``;
+            broadcasting views (e.g. ``np.broadcast_to``) are accepted.
+        noise:
+            Optional non-ideal factors shared by all trials.
+        rngs:
+            One generator per trial (see
+            :meth:`repro.device.variation.NonIdealFactors.rngs`);
+            required whenever ``noise`` is given.  Each generator is
+            consumed in the same order as one serial :meth:`apply`
+            call, so the stacked result is bit-identical to looping
+            ``apply`` over the trials.
+        pv_factors:
+            Optional precomputed process-variation factor stack of
+            shape ``(trials, rows, cols)``; when given, the per-trial
+            PV draws are skipped (the caller already consumed the
+            generators — see :meth:`consume_pv_factors`).
+
+        Returns
+        -------
+        Output voltages of shape ``(trials, batch, cols)``, computed
+        with one stacked matmul instead of a per-trial Python loop.
+        """
+        v_in = np.asarray(v_in, dtype=float)
+        if v_in.ndim != 3:
+            raise ValueError(f"trial stack must be 3-D, got shape {v_in.shape}")
+        if v_in.shape[2] != self.rows:
+            raise ValueError(f"input has {v_in.shape[2]} ports, crossbar has {self.rows} rows")
+        if noise is not None:
+            if rngs is None:
+                raise ValueError("rngs (one per trial) are required when noise is given")
+            if len(rngs) != v_in.shape[0]:
+                raise ValueError(
+                    f"got {len(rngs)} generators for {v_in.shape[0]} trials"
+                )
+            if noise.sigma_sf > 0:
+                v_in = v_in * lognormal_factor_stack(
+                    v_in.shape[1:], noise.sigma_sf, rngs
+                )
+        if self.nonlinearity > 0:
+            v_in = sinh_nonlinearity(v_in, self.nonlinearity)
+        if noise is not None and noise.sigma_pv > 0:
+            # Per-trial draws stay in the serial order (bit-identity);
+            # the multiply/clip/normalize run once on the whole stack.
+            factors = pv_factors
+            if factors is None:
+                factors = lognormal_factor_stack(
+                    self.conductances.shape, noise.sigma_pv, rngs
+                )
+            g = self.device.clip_conductance(self.conductances * factors)
+            c = g / (self.g_s + g.sum(axis=1, keepdims=True))
+        else:
+            c = coefficients_from_conductance(self.conductances, self.g_s)
         return v_in @ c

@@ -31,7 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
-from repro.device.variation import NonIdealFactors
+from repro.device.variation import NonIdealFactors, lognormal_factor_stack
 from repro.xbar.crossbar import Crossbar
 
 __all__ = ["MappingConfig", "solve_conductances", "DifferentialCrossbar", "map_matrix"]
@@ -210,6 +210,50 @@ class DifferentialCrossbar:
             out = self.positive.apply(x, pv_only, rng) - self.negative.apply(x, pv_only, rng)
         else:
             out = self.positive.apply(x) - self.negative.apply(x)
+        return out * self.gain
+
+    def pv_shapes(self) -> "list":
+        """Conductance-array shapes, in per-trial PV draw order."""
+        return self.positive.pv_shapes() + self.negative.pv_shapes()
+
+    def consume_pv_factors(self, chunks) -> "tuple":
+        """Take this pair's PV factor stacks from an ordered iterator."""
+        return (
+            self.positive.consume_pv_factors(chunks),
+            self.negative.consume_pv_factors(chunks),
+        )
+
+    def apply_trials(
+        self,
+        x: np.ndarray,
+        noise: Optional[NonIdealFactors] = None,
+        rngs: "Optional[list]" = None,
+        pv_factors: "Optional[tuple]" = None,
+    ) -> np.ndarray:
+        """Batched Monte-Carlo ``x @ W`` over a ``(trials, batch, in)`` stack.
+
+        Per trial the generator is consumed in the serial order
+        (shared-input signal fluctuation, then positive-array PV, then
+        negative-array PV), so the stack is bit-identical to looping
+        :meth:`apply` with the same generators.  ``pv_factors`` is the
+        optional precomputed ``(positive, negative)`` factor pair from
+        :meth:`consume_pv_factors`.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3:
+            raise ValueError(f"trial stack must be 3-D, got shape {x.shape}")
+        if noise is not None:
+            if rngs is None:
+                raise ValueError("rngs (one per trial) are required when noise is given")
+            if noise.sigma_sf > 0:
+                x = x * lognormal_factor_stack(x.shape[1:], noise.sigma_sf, rngs)
+            pv_pos, pv_neg = pv_factors if pv_factors is not None else (None, None)
+            pv_only = NonIdealFactors(sigma_pv=noise.sigma_pv, sigma_sf=0.0, seed=noise.seed)
+            out = self.positive.apply_trials(
+                x, pv_only, rngs, pv_factors=pv_pos
+            ) - self.negative.apply_trials(x, pv_only, rngs, pv_factors=pv_neg)
+        else:
+            out = self.positive.apply_trials(x) - self.negative.apply_trials(x)
         return out * self.gain
 
 

@@ -142,11 +142,21 @@ class MNACrossbar:
         self._source_map = sp.coo_matrix(
             (src_data, (src_rows, src_cols)), shape=(n_nodes, n)
         ).tocsc()
+        # Densified once at build time: (n_nodes, rows) is small (the
+        # source map has one column per input port), and a plain
+        # ndarray matmul avoids both the per-solve densification and
+        # the deprecated np.matrix semantics of ``.todense()``.
+        self._source_map_dense = np.asarray(self._source_map.toarray(), dtype=float)
         self._factorized = spla.factorized(matrix)
         self._n_nodes = n_nodes
 
     def solve(self, v_in: np.ndarray) -> np.ndarray:
         """Solve the network for a batch of input voltage vectors.
+
+        The batch is solved with a single multi-RHS substitution
+        against the cached sparse LU factorization, so solving ``B``
+        input vectors costs one factorization plus one batched
+        triangular solve — not ``B`` independent solves.
 
         Parameters
         ----------
@@ -160,8 +170,8 @@ class MNACrossbar:
         v_in = np.atleast_2d(np.asarray(v_in, dtype=float))
         if v_in.shape[1] != self.rows:
             raise ValueError(f"input has {v_in.shape[1]} ports, crossbar has {self.rows} rows")
-        rhs = self._source_map @ v_in.T  # (n_nodes, batch)
-        solution = self._factorized(np.asarray(rhs.todense() if sp.issparse(rhs) else rhs))
+        rhs = self._source_map_dense @ v_in.T  # (n_nodes, batch)
+        solution = self._factorized(rhs)
         t0 = self._t_index(0)
         return solution[t0 : t0 + self.cols].T
 

@@ -94,3 +94,39 @@ class TiledDifferentialCrossbar:
             partial = tile.apply(x[:, rows], noise, rng)
             total = partial if total is None else total + partial
         return total
+
+    def pv_shapes(self) -> "list":
+        """Conductance-array shapes, in per-trial PV draw order."""
+        return [shape for tile in self.tiles for shape in tile.pv_shapes()]
+
+    def consume_pv_factors(self, chunks) -> "list":
+        """Take every tile's PV factor stacks from an ordered iterator."""
+        return [tile.consume_pv_factors(chunks) for tile in self.tiles]
+
+    def apply_trials(
+        self,
+        x: np.ndarray,
+        noise: Optional[NonIdealFactors] = None,
+        rngs: "Optional[list]" = None,
+        pv_factors: "Optional[list]" = None,
+    ) -> np.ndarray:
+        """Batched Monte-Carlo apply over a ``(trials, batch, in)`` stack.
+
+        Tiles are visited in the same order as :meth:`apply`, so each
+        trial's generator sees the serial draw sequence (per tile:
+        signal fluctuation, positive PV, negative PV) and the result is
+        bit-identical to looping over trials.  ``pv_factors`` is the
+        optional per-tile list from :meth:`consume_pv_factors`.
+        """
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 3:
+            raise ValueError(f"trial stack must be 3-D, got shape {x.shape}")
+        if x.shape[2] != self.in_dim:
+            raise ValueError(f"input has {x.shape[2]} ports, matrix has {self.in_dim} rows")
+        if pv_factors is None:
+            pv_factors = [None] * len(self.tiles)
+        total = None
+        for rows, tile, factors in zip(self._row_slices, self.tiles, pv_factors):
+            partial = tile.apply_trials(x[:, :, rows], noise, rngs, pv_factors=factors)
+            total = partial if total is None else total + partial
+        return total

@@ -3,6 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.core.mei import MEI, MEIConfig
+from repro.core.rcs import TraditionalRCS
+from repro.core.saab import SAAB, SAABConfig
+from repro.cost.area import Topology
 from repro.device.variation import IDEAL, NonIdealFactors
 from repro.metrics.robustness import (
     evaluate_under_noise,
@@ -62,6 +66,75 @@ class TestNoiseSweep:
         x = rng.uniform(0, 1, (10, 1))
         noises = [NonIdealFactors(sigma_pv=s, seed=0) for s in (0.0, 0.1)]
         assert len(noise_sweep(_noisy_predictor, x, x, _mae, noises, trials=3)) == 2
+
+
+def _train_data(rng, n=200):
+    x = rng.uniform(0, 1, (n, 2))
+    y = 0.25 + 0.5 * x.mean(axis=1, keepdims=True)
+    return x, y
+
+
+class TestVectorizedEquivalence:
+    """The batched predict_trials path must match the serial loop bit
+    for bit — the tentpole invariant of the performance layer."""
+
+    NOISE = NonIdealFactors(sigma_pv=0.1, sigma_sf=0.05, seed=7)
+
+    def test_mei_stack_matches_serial_trials(self, rng, fast_train):
+        x, y = _train_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, fast_train)
+        stack = mei.predict_trials(x[:40], self.NOISE, trials=4)
+        assert stack.shape[0] == 4
+        for t in range(4):
+            assert np.array_equal(stack[t], mei.predict(x[:40], self.NOISE, trial=t))
+
+    def test_rcs_stack_matches_serial_trials(self, rng, fast_train):
+        x, y = _train_data(rng)
+        rcs = TraditionalRCS(Topology(2, 8, 1), seed=0).train(x, y, fast_train)
+        stack = rcs.predict_trials(x[:40], self.NOISE, trials=3)
+        for t in range(3):
+            assert np.array_equal(stack[t], rcs.predict(x[:40], self.NOISE, trial=t))
+
+    def test_saab_stack_matches_serial_trials(self, rng, fast_train):
+        x, y = _train_data(rng)
+        saab = SAAB(
+            lambda i: MEI(MEIConfig(2, 1, 8), seed=10 + i),
+            SAABConfig(n_learners=2, compare_bits=4, seed=0),
+        ).train(x, y, fast_train)
+        stack = saab.predict_trials(x[:30], self.NOISE, trials=3)
+        for t in range(3):
+            assert np.array_equal(stack[t], saab.predict(x[:30], self.NOISE, trial=t))
+
+    def test_evaluate_vectorized_matches_loop(self, rng, fast_train):
+        x, y = _train_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, fast_train)
+        metric = lambda p, t: float(np.mean(np.abs(p - t)))
+        vectorized = evaluate_under_noise(mei, x[:40], y[:40], metric, self.NOISE, trials=5)
+        looped = evaluate_under_noise(
+            mei, x[:40], y[:40], metric, self.NOISE, trials=5, vectorize=False
+        )
+        assert np.array_equal(vectorized.values, looped.values)
+
+    def test_explicit_batch_predictor(self, rng, fast_train):
+        x, y = _train_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, fast_train)
+        metric = lambda p, t: float(np.mean(np.abs(p - t)))
+        explicit = evaluate_under_noise(
+            mei.predict, x[:30], y[:30], metric, self.NOISE, trials=3,
+            batch_predictor=mei.predict_trials,
+        )
+        looped = evaluate_under_noise(
+            mei.predict, x[:30], y[:30], metric, self.NOISE, trials=3, vectorize=False
+        )
+        assert np.array_equal(explicit.values, looped.values)
+
+    def test_system_object_ideal_noise(self, rng, fast_train):
+        x, y = _train_data(rng)
+        mei = MEI(MEIConfig(2, 1, 8), seed=0).train(x, y, fast_train)
+        metric = lambda p, t: float(np.mean(np.abs(p - t)))
+        result = evaluate_under_noise(mei, x[:20], y[:20], metric, IDEAL, trials=10)
+        assert result.trials == 1
+        assert result.values[0] == pytest.approx(metric(mei.predict(x[:20]), y[:20]))
 
 
 class TestRobustnessIndex:
