@@ -7,7 +7,6 @@ this ablation quantifies how many levels the MEI architecture needs
 before the continuous-device assumption is harmless.
 """
 
-import numpy as np
 
 from repro.core.mei import MEI, MEIConfig
 from repro.device.rram import RRAMDevice

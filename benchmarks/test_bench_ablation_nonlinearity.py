@@ -11,7 +11,6 @@ architecture's accuracy degradation, quantifying one more advantage of
 merging the interface.
 """
 
-import numpy as np
 
 from repro.core.mei import MEI, MEIConfig
 from repro.core.rcs import TraditionalRCS

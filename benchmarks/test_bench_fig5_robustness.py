@@ -10,7 +10,6 @@ Paper shapes asserted:
   dependent — the reason Algorithm 2 keeps both).
 """
 
-import numpy as np
 
 from repro.experiments.fig5 import run_fig5
 

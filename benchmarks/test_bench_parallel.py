@@ -17,9 +17,7 @@ under ``benchmarks/out/``).  Marked ``slow``: run with
 """
 
 import json
-import os
 import pathlib
-import platform
 import time
 
 import numpy as np
@@ -31,6 +29,7 @@ from repro.device.variation import NonIdealFactors
 from repro.experiments.runner import repeat_with_seeds
 from repro.metrics.robustness import evaluate_under_noise
 from repro.nn.trainer import TrainConfig
+from repro.obs.runinfo import provenance_header
 from repro.parallel import SerialExecutor, get_executor
 
 pytestmark = pytest.mark.slow
@@ -155,12 +154,9 @@ def test_bench_parallel(save_report):
     sweep_speedup = t_baseline / t_optimized
 
     payload = {
-        "machine": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        # Full provenance (git SHA, hostname, toolchain, REPRO_* knobs)
+        # so archived trajectories stay comparable across PRs.
+        "provenance": provenance_header(workers=SWEEP_WORKERS),
         "robustness_eval": {
             "system": "TraditionalRCS 2x16x1",
             "noise": {"sigma_pv": NOISE.sigma_pv, "sigma_sf": NOISE.sigma_sf},

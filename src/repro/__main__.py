@@ -13,11 +13,22 @@ Usage::
 Add ``--full`` for the paper-scale budgets (10k train samples, 400
 epochs, 100 noise trials); the default quick budgets finish in
 minutes.
+
+Observability: tables go to **stdout**, diagnostics to **stderr**, so
+``python -m repro table1 > results.txt`` captures clean tables.  Use
+``--log-level debug`` (or ``REPRO_LOG=debug``) for per-epoch progress,
+``--trace`` (or ``REPRO_TRACE=1``) to record a span tree, and
+``--run-dir DIR`` (or ``REPRO_RUN_DIR``) to choose where run manifests
+land (default ``runs/``).  A manifest is written per experiment
+whenever tracing is enabled or ``--run-dir`` is given; see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
+import os
 import sys
 
 from repro.experiments.bitlength import run_bitlength
@@ -27,12 +38,20 @@ from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.runner import FULL_SCALE, QUICK_SCALE
 from repro.experiments.table1 import run_benchmark_row, run_table1
+from repro.obs import log as obs_log
+from repro.obs import metrics as obs_metrics
+from repro.obs import runinfo
+from repro.obs import trace as obs_trace
+from repro.obs.trace import span
 from repro.workloads.registry import BENCHMARK_NAMES
+
+_log = obs_log.get_logger("cli")
 
 
 def _table1(args, scale) -> str:
     if args.bench:
-        row = run_benchmark_row(args.bench, scale, seed=args.seed)
+        with span("table1", benchmarks=[args.bench], seed=args.seed):
+            row = run_benchmark_row(args.bench, scale, seed=args.seed)
         return (
             f"Table 1 row — {row.name}\n"
             f"pruned MEI topology: {row.pruned_topology}\n"
@@ -65,8 +84,27 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--bench", choices=BENCHMARK_NAMES, default=None,
                         help="restrict table1 to one benchmark")
+    parser.add_argument("--log-level", default=None,
+                        choices=["debug", "info", "warning", "error"],
+                        help="diagnostic verbosity on stderr (default: REPRO_LOG or info)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a span tree and write a run manifest "
+                             "(same as REPRO_TRACE=1)")
+    parser.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="directory for run manifests (default: REPRO_RUN_DIR or "
+                             "'runs/'); implies writing a manifest")
     args = parser.parse_args(argv)
     scale = FULL_SCALE if args.full else QUICK_SCALE
+
+    # CLI runs default to info-level progress on stderr; --log-level
+    # and REPRO_LOG override.
+    obs_log.configure(
+        level=args.log_level if args.log_level else obs_log.level_from_env(logging.INFO),
+        force=True,
+    )
+    if args.trace:
+        obs_trace.enable(True)
+    write_manifests = obs_trace.enabled() or args.run_dir is not None
 
     runners = {
         "fig2": lambda: run_fig2().render(),
@@ -82,8 +120,29 @@ def main(argv=None) -> int:
     else:
         names = [args.experiment]
     for name in names:
+        _log.info(
+            "running experiment",
+            extra={"fields": {"experiment": name, "scale": scale.name,
+                              "seed": args.seed, "trace": obs_trace.enabled()}},
+        )
+        obs_trace.clear()
+        obs_metrics.clear()
         print(runners[name]())
         print()
+        if write_manifests and name != "report":
+            path = runinfo.write_manifest(
+                name,
+                run_dir=args.run_dir,
+                seed=args.seed,
+                scale=scale,
+                argv=list(argv) if argv is not None else sys.argv[1:],
+                spans=obs_trace.get_records(),
+                metrics_snapshot=obs_metrics.snapshot(),
+            )
+            _log.info(
+                "wrote run manifest",
+                extra={"fields": {"experiment": name, "path": os.fspath(path)}},
+            )
     return 0
 
 

@@ -30,6 +30,8 @@ from repro.device.variation import (
     trial_indices,
 )
 from repro.nn.network import MLP
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.xbar.mapping import DifferentialCrossbar, MappingConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -79,23 +81,29 @@ class AnalogMLP:
         """Optional per-port affine correction ``(gain, offset)`` set by
         ICE-style inline calibration (:mod:`repro.core.calibration`)."""
         tile_rows = mapping_config.max_rows_per_tile if mapping_config is not None else None
-        for index, layer in enumerate(mlp.layers):
-            if tile_rows is not None and layer.weights.shape[0] > tile_rows:
-                from repro.xbar.tiling import TiledDifferentialCrossbar
+        with span(
+            "deploy", layers=list(mlp.layer_sizes), digital_input=digital_input
+        ) as sp:
+            for index, layer in enumerate(mlp.layers):
+                if tile_rows is not None and layer.weights.shape[0] > tile_rows:
+                    from repro.xbar.tiling import TiledDifferentialCrossbar
 
-                xbar = TiledDifferentialCrossbar(
-                    layer.weights, tile_rows, config=mapping_config, device=device
-                )
-            else:
-                xbar = DifferentialCrossbar(
-                    layer.weights, config=mapping_config, device=device
-                )
-            if programming is not None:
-                self._program(xbar, programming, index)
-            self.crossbars.append(xbar)
-            # The crossbar's apply() restores the mapping gain, so the
-            # neuron only contributes the trained bias and the sigmoid.
-            self.neurons.append(SigmoidNeuron(gain=1.0, bias=layer.bias.copy()))
+                    xbar = TiledDifferentialCrossbar(
+                        layer.weights, tile_rows, config=mapping_config, device=device
+                    )
+                else:
+                    xbar = DifferentialCrossbar(
+                        layer.weights, config=mapping_config, device=device
+                    )
+                if programming is not None:
+                    self._program(xbar, programming, index)
+                self.crossbars.append(xbar)
+                # The crossbar's apply() restores the mapping gain, so the
+                # neuron only contributes the trained bias and the sigmoid.
+                self.neurons.append(SigmoidNeuron(gain=1.0, bias=layer.bias.copy()))
+            sp.set(devices=self.device_count)
+        obs_metrics.counter("deployments").inc()
+        obs_metrics.counter("rram_devices_programmed").inc(self.device_count)
 
     @staticmethod
     def _arrays_of(xbar):
@@ -157,6 +165,8 @@ class AnalogMLP:
         out = np.atleast_2d(np.asarray(x, dtype=float))
         if out.shape[1] != self.in_dim:
             raise ValueError(f"input has {out.shape[1]} ports, network expects {self.in_dim}")
+        # One analog MAC per RRAM cell per sample (Eq. 2's column sums).
+        obs_metrics.counter("crossbar_macs").inc(self.device_count * out.shape[0])
         rng = noise.rng(trial) if not noise.is_ideal else None
         # Signal fluctuation is *interface* noise (Sec. 5.3: "noise to
         # the electrical signal, such as the input signal"): it
@@ -215,6 +225,9 @@ class AnalogMLP:
         if base.shape[1] != self.in_dim:
             raise ValueError(f"input has {base.shape[1]} ports, network expects {self.in_dim}")
         indices = trial_indices(trials)
+        obs_metrics.counter("crossbar_macs").inc(
+            self.device_count * base.shape[0] * len(indices)
+        )
         if noise.is_ideal:
             out = self.forward(base)
             return np.broadcast_to(out, (len(indices),) + out.shape).copy()

@@ -39,8 +39,13 @@ from repro.cost.power import max_saab_learners, savings
 from repro.device.variation import IDEAL, NonIdealFactors
 from repro.metrics.robustness import evaluate_under_noise, robustness_index
 from repro.nn.trainer import TrainConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 
 __all__ = ["DSEConfig", "DSEResult", "explore", "search_hidden_size"]
+
+_log = get_logger("core.dse")
 
 MetricFn = Callable[[np.ndarray, np.ndarray], float]
 """(predicted_unit, target_unit) -> error value (smaller = better)."""
@@ -151,18 +156,26 @@ def _evaluate(
     ``predict_trials`` path (one stacked crossbar pass for all trials)
     — bit-identical to the serial Monte-Carlo loop under fixed seeds.
     """
-    clean = metric(system.predict(x), y)
-    if noise.is_ideal:
-        return clean, 1.0
-    noisy = evaluate_under_noise(system, x, y, metric, noise, trials).mean
-    return clean, robustness_index(clean, noisy)
+    with span("evaluate", trials=trials) as sp:
+        clean = metric(system.predict(x), y)
+        if noise.is_ideal:
+            sp.set(clean=float(clean), robustness=1.0)
+            return clean, 1.0
+        noisy = evaluate_under_noise(system, x, y, metric, noise, trials).mean
+        robustness = robustness_index(clean, noisy)
+        sp.set(clean=float(clean), noisy=float(noisy), robustness=float(robustness))
+    return clean, robustness
 
 
 def _train_candidate(args) -> Tuple[MEI, float]:
     """Train and score one hidden-size candidate (picklable task)."""
     make_mei, hidden, seed, x_train, y_train, x_test, y_test, metric, train_config = args
-    mei = make_mei(hidden, seed).train(x_train, y_train, train_config)
-    return mei, float(metric(mei.predict(x_test), y_test))
+    with span(f"candidate:h{hidden}", hidden=hidden) as sp:
+        mei = make_mei(hidden, seed).train(x_train, y_train, train_config)
+        error = float(metric(mei.predict(x_test), y_test))
+        sp.set(error=error)
+    obs_metrics.counter("dse_candidates_trained").inc()
+    return mei, error
 
 
 def search_hidden_size(
@@ -203,36 +216,46 @@ def search_hidden_size(
         ladder.append(hidden)
         hidden *= 2
 
-    if getattr(executor, "workers", 1) > 1 and len(ladder) > 1:
-        tasks = [
-            (make_mei, h, config.seed, x_train, y_train, x_test, y_test, metric, train_config)
-            for h in ladder
-        ]
-        trained = executor.map(_train_candidate, tasks)
-        candidates = ((h, mei, error) for h, (mei, error) in zip(ladder, trained))
-    else:
+    with span("hidden_search", ladder=list(ladder)) as sp:
+        if getattr(executor, "workers", 1) > 1 and len(ladder) > 1:
+            tasks = [
+                (make_mei, h, config.seed, x_train, y_train, x_test, y_test, metric,
+                 train_config)
+                for h in ladder
+            ]
+            trained = executor.map(_train_candidate, tasks)
+            candidates = ((h, mei, error) for h, (mei, error) in zip(ladder, trained))
+        else:
 
-        def _lazy():
-            for h in ladder:
-                mei = make_mei(h, config.seed).train(x_train, y_train, train_config)
-                yield h, mei, float(metric(mei.predict(x_test), y_test))
+            def _lazy():
+                for h in ladder:
+                    mei, error = _train_candidate(
+                        (make_mei, h, config.seed, x_train, y_train, x_test, y_test,
+                         metric, train_config)
+                    )
+                    yield h, mei, error
 
-        candidates = _lazy()
+            candidates = _lazy()
 
-    history: List[Tuple[int, float]] = []
-    best: Optional[MEI] = None
-    best_error = np.inf
-    previous_error: Optional[float] = None
-    for h, mei, error in candidates:
-        history.append((h, error))
-        if error < best_error:
-            best, best_error = mei, error
-        if previous_error is not None and previous_error > 0:
-            eta = abs(error - previous_error) / previous_error  # Eq. 8
-            if eta < config.change_rate_threshold:
-                break
-        previous_error = error
-    assert best is not None
+        history: List[Tuple[int, float]] = []
+        best: Optional[MEI] = None
+        best_error = np.inf
+        previous_error: Optional[float] = None
+        for h, mei, error in candidates:
+            history.append((h, error))
+            if error < best_error:
+                best, best_error = mei, error
+            if previous_error is not None and previous_error > 0:
+                eta = abs(error - previous_error) / previous_error  # Eq. 8
+                if eta < config.change_rate_threshold:
+                    break
+            previous_error = error
+        assert best is not None
+        sp.set(selected_hidden=best.config.hidden, history=[list(p) for p in history])
+    _log.debug(
+        "hidden search done",
+        extra={"fields": {"hidden": best.config.hidden, "history": history}},
+    )
     return best, best.config.hidden, history
 
 
@@ -253,6 +276,11 @@ def explore(
     """
     log: List[str] = []
 
+    def note(message: str) -> None:
+        """DSEResult.log line, mirrored onto the structured logger."""
+        log.append(message)
+        _log.debug(message)
+
     # functools.partial of a module-level builder (not a closure) so the
     # candidate-ladder tasks can cross a process boundary.
     make_mei = functools.partial(
@@ -271,15 +299,15 @@ def explore(
     r1, hidden, history = search_hidden_size(
         make_mei, x_train, y_train, x_test, y_test, metric, config, candidate_config
     )
-    log.append(f"hidden search: H={hidden}, history={history}")
+    note(f"hidden search: H={hidden}, history={history}")
 
     # Line 2: maximum SAAB number (Eq. 9).
     k_max = max_saab_learners(traditional, r1.topology(), config.area_params, config.power_params)
-    log.append(f"K_max={k_max}")
+    note(f"K_max={k_max}")
 
     # Lines 3-4: evaluate the single learner.
     error, robustness = _evaluate(r1, x_test, y_test, metric, config.noise, config.noise_trials)
-    log.append(f"R1: error={error:.4f}, robustness={robustness:.3f}")
+    note(f"R1: error={error:.4f}, robustness={robustness:.3f}")
 
     system: object = r1
     used_saab = False
@@ -327,7 +355,7 @@ def explore(
             wide_error, wide_rob = _evaluate(
                 wide, x_test, y_test, metric, config.noise, config.noise_trials
             )
-            log.append(
+            note(
                 f"K={k}: ensemble err={ens_error:.4f}/rob={ens_rob:.3f}, "
                 f"wide(H={wide_hidden}) err={wide_error:.4f}/rob={wide_rob:.3f}"
             )
@@ -348,7 +376,7 @@ def explore(
             mse=system.mse(x_test, y_test),
         )
         if result.mei is not system:
-            log.append(
+            note(
                 f"pruned to in_bits={result.mei.in_bits}, out_bits={result.mei.out_bits}"
             )
         system = result.mei

@@ -22,7 +22,7 @@ works, so both :class:`repro.core.mei.MEI` and
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Protocol
 
 import numpy as np
@@ -30,9 +30,14 @@ import numpy as np
 from repro.device.variation import IDEAL, NonIdealFactors, TrialSpec, trial_indices
 from repro.nn.datasets import resample
 from repro.nn.trainer import TrainConfig
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 from repro.quant.binarray import msb_match
 
 __all__ = ["BoostableLearner", "SAABConfig", "SAAB"]
+
+_log = get_logger("core.saab")
 
 
 class BoostableLearner(Protocol):
@@ -162,54 +167,62 @@ class SAAB:
 
         for _ in range(n_rounds):  # Line 2
             k = len(self.learners)
-            probabilities = self._weights / self._weights.sum()  # Line 3
-            learner = self.factory(k)
-            effective_config = train_config
-            if effective_config is None and hasattr(learner, "seed"):
-                # The learner's own default (shuffle by its seed), minus
-                # the per-epoch train-loss bookkeeping no boosting round
-                # reads — training results are unchanged.
-                effective_config = TrainConfig(
-                    shuffle_seed=learner.seed, track_train_loss=False
-                )
-            if self.config.sampling == "resample":
-                # Line 4 literally: bootstrap by the distribution.
-                xs, ys = resample(x, y, probabilities, self.config.sample_size, self._rng)
-                learner.train(xs, ys, effective_config)  # Line 5
-            else:
-                # Reweighting form: full set, per-sample loss weights
-                # normalized to mean 1 so learning rates are unchanged.
-                learner.train(x, y, effective_config, sample_weights=probabilities * n)
+            with span("saab_round", k=k) as sp:
+                probabilities = self._weights / self._weights.sum()  # Line 3
+                learner = self.factory(k)
+                effective_config = train_config
+                if effective_config is None and hasattr(learner, "seed"):
+                    # The learner's own default (shuffle by its seed), minus
+                    # the per-epoch train-loss bookkeeping no boosting round
+                    # reads — training results are unchanged.
+                    effective_config = TrainConfig(
+                        shuffle_seed=learner.seed, track_train_loss=False
+                    )
+                if self.config.sampling == "resample":
+                    # Line 4 literally: bootstrap by the distribution.
+                    xs, ys = resample(x, y, probabilities, self.config.sample_size, self._rng)
+                    learner.train(xs, ys, effective_config)  # Line 5
+                else:
+                    # Reweighting form: full set, per-sample loss weights
+                    # normalized to mean 1 so learning rates are unchanged.
+                    learner.train(x, y, effective_config, sample_weights=probabilities * n)
 
-            # Line 6: relaxed, noise-aware error on the *original* set.
-            predicted = learner.predict_bits(x, self.config.noise, trial=k)
-            correct = msb_match(
-                predicted,
-                learner.target_bits(y),
-                learner.bits_per_group,
-                min(self.config.compare_bits, learner.bits_per_group),
+                # Line 6: relaxed, noise-aware error on the *original* set.
+                predicted = learner.predict_bits(x, self.config.noise, trial=k)
+                correct = msb_match(
+                    predicted,
+                    learner.target_bits(y),
+                    learner.bits_per_group,
+                    min(self.config.compare_bits, learner.bits_per_group),
+                )
+                error = float(np.sum(probabilities[~correct]))
+                error = float(np.clip(error, 1e-10, 1.0 - 1e-10))
+                alpha = 0.5 * np.log((1.0 - error) / error)  # Line 7
+
+                if error < 0.5:
+                    # Line 8: up-weight misclassified samples.
+                    self._weights = self._weights * np.where(
+                        correct, np.exp(-alpha), np.exp(alpha)
+                    )
+                else:
+                    # AdaBoost's assumptions break for a worse-than-chance
+                    # learner (the regime the paper's B_C relaxation is
+                    # designed to avoid): updating weights with a negative
+                    # alpha would *reinforce* the errors.  Standard
+                    # AdaBoost.M1 practice: reset the distribution and
+                    # keep the learner out of the vote (see predict_bits).
+                    self._weights = np.full(n, 1.0 / n)
+
+                self.learners.append(learner)
+                self.alphas.append(alpha)
+                self.rounds.append(_BoostRound(error=error, alpha=alpha))
+                sp.set(error=error, alpha=float(alpha))
+            obs_metrics.counter("saab_rounds").inc()
+            _log.debug(
+                "boost round done",
+                extra={"fields": {"k": k, "error": round(error, 6),
+                                  "alpha": round(float(alpha), 6)}},
             )
-            error = float(np.sum(probabilities[~correct]))
-            error = float(np.clip(error, 1e-10, 1.0 - 1e-10))
-            alpha = 0.5 * np.log((1.0 - error) / error)  # Line 7
-
-            if error < 0.5:
-                # Line 8: up-weight misclassified samples.
-                self._weights = self._weights * np.where(
-                    correct, np.exp(-alpha), np.exp(alpha)
-                )
-            else:
-                # AdaBoost's assumptions break for a worse-than-chance
-                # learner (the regime the paper's B_C relaxation is
-                # designed to avoid): updating weights with a negative
-                # alpha would *reinforce* the errors.  Standard
-                # AdaBoost.M1 practice: reset the distribution and
-                # keep the learner out of the vote (see predict_bits).
-                self._weights = np.full(n, 1.0 / n)
-
-            self.learners.append(learner)
-            self.alphas.append(alpha)
-            self.rounds.append(_BoostRound(error=error, alpha=alpha))
         return self
 
     @property

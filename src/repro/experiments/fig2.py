@@ -9,12 +9,13 @@ for about one percent.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.cost.area import Topology
 from repro.cost.breakdown import Breakdown, breakdown
 from repro.cost.params import LITERATURE_AREA, LITERATURE_POWER, CostParams
 from repro.experiments.runner import format_table
+from repro.obs.trace import span
 
 __all__ = ["Fig2Result", "run_fig2"]
 
@@ -50,8 +51,9 @@ def run_fig2(
     power_params: CostParams = LITERATURE_POWER,
 ) -> Fig2Result:
     """Regenerate the Fig. 2 decomposition."""
-    return Fig2Result(
-        topology=topology,
-        area=breakdown(topology, area_params),
-        power=breakdown(topology, power_params),
-    )
+    with span("fig2", topology=str(topology)):
+        return Fig2Result(
+            topology=topology,
+            area=breakdown(topology, area_params),
+            power=breakdown(topology, power_params),
+        )

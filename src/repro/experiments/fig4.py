@@ -30,15 +30,18 @@ from repro.experiments.runner import (
     ExperimentScale,
     default_scale,
     format_table,
-    train_config,
     train_samples_for,
 )
 from repro.experiments.table1 import calibrated_params
 from repro.nn.network import MLP
 from repro.nn.trainer import Trainer
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 from repro.workloads.registry import BENCHMARK_NAMES, PAPER_TABLE1, make_benchmark
 
 __all__ = ["Fig4Row", "Fig4Result", "run_fig4"]
+
+_log = get_logger("experiments.fig4")
 
 
 @dataclass(frozen=True)
@@ -87,6 +90,11 @@ class Fig4Result:
 def _fig4_row(args) -> Fig4Row:
     """One benchmark's four-system comparison (picklable sweep task)."""
     name, scale, seed, max_k, params = args
+    with span(f"row:{name}", benchmark=name, seed=seed):
+        return _fig4_row_body(name, scale, seed, max_k, params)
+
+
+def _fig4_row_body(name, scale, seed, max_k, params) -> Fig4Row:
     bench = make_benchmark(name)
     paper = PAPER_TABLE1[name]
     data = bench.dataset(
@@ -104,12 +112,14 @@ def _fig4_row(args) -> Fig4Row:
     )
     topology = bench.spec.topology
 
-    digital = MLP((topology.inputs, topology.hidden, topology.outputs), rng=seed)
-    Trainer(config=cfg).fit(digital, data.x_train, data.y_train)
-    err_digital = bench.error_normalized(digital.predict(data.x_test), data.y_test)
+    with span("digital"):
+        digital = MLP((topology.inputs, topology.hidden, topology.outputs), rng=seed)
+        Trainer(config=cfg).fit(digital, data.x_train, data.y_train)
+        err_digital = bench.error_normalized(digital.predict(data.x_test), data.y_test)
 
-    rcs = TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg)
-    err_adda = bench.error_normalized(rcs.predict(data.x_test), data.y_test)
+    with span("adda"):
+        rcs = TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg)
+        err_adda = bench.error_normalized(rcs.predict(data.x_test), data.y_test)
 
     mei_config = MEIConfig(
         in_groups=topology.inputs,
@@ -122,12 +132,13 @@ def _fig4_row(args) -> Fig4Row:
     # Default (weighted) SAAB trains its first learner on the full
     # set with uniform weights — that learner IS the standalone
     # Table 1 MEI, so it provides the MEI bar directly.
-    saab = SAAB(
-        lambda i: MEI(mei_config, seed=seed + i),
-        SAABConfig(n_learners=k, compare_bits=4, seed=seed),
-    ).train(data.x_train, data.y_train, cfg)
-    err_mei = bench.error_normalized(saab.learners[0].predict(data.x_test), data.y_test)
-    err_saab = bench.error_normalized(saab.predict(data.x_test), data.y_test)
+    with span("saab", k=k):
+        saab = SAAB(
+            lambda i: MEI(mei_config, seed=seed + i),
+            SAABConfig(n_learners=k, compare_bits=4, seed=seed),
+        ).train(data.x_train, data.y_train, cfg)
+        err_mei = bench.error_normalized(saab.learners[0].predict(data.x_test), data.y_test)
+        err_saab = bench.error_normalized(saab.predict(data.x_test), data.y_test)
 
     return Fig4Row(
         name=name,
@@ -161,5 +172,11 @@ def run_fig4(
     scale = scale if scale is not None else default_scale()
     params = params if params is not None else calibrated_params()
     executor = get_executor(workers)
-    rows = executor.map(_fig4_row, [(name, scale, seed, max_k, params) for name in names])
-    return Fig4Result(rows=rows)
+    with span("fig4", benchmarks=list(names), seed=seed):
+        rows = executor.map(_fig4_row, [(name, scale, seed, max_k, params) for name in names])
+    result = Fig4Result(rows=rows)
+    _log.info(
+        "fig4 done",
+        extra={"fields": {"average_improvement": round(result.average_improvement, 6)}},
+    )
+    return result

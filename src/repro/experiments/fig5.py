@@ -20,9 +20,7 @@ architecture because its inputs are discrete 0/1 levels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
-
-import numpy as np
+from typing import List, Optional, Sequence
 
 from repro.core.mei import MEI, MEIConfig
 from repro.core.rcs import TraditionalRCS
@@ -31,14 +29,17 @@ from repro.device.variation import NonIdealFactors
 from repro.experiments.runner import (
     ExperimentScale,
     default_scale,
-    format_table,
     train_config,
     train_samples_for,
 )
 from repro.metrics.robustness import evaluate_under_noise
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 from repro.workloads.registry import PAPER_TABLE1, make_benchmark
 
 __all__ = ["Fig5Curve", "Fig5Result", "run_fig5"]
+
+_log = get_logger("experiments.fig5")
 
 DEFAULT_BENCHMARKS = ("inversek2j", "jpeg", "sobel")
 DEFAULT_SIGMAS = (0.0, 0.05, 0.1, 0.2)
@@ -90,52 +91,66 @@ def _fig5_benchmark(args) -> List[Fig5Curve]:
     the serial per-trial loop.
     """
     name, sigmas, scale, seed, k = args
-    bench = make_benchmark(name)
-    paper = PAPER_TABLE1[name]
-    data = bench.dataset(
-        n_train=train_samples_for(name, scale), n_test=scale.n_test, seed=seed
-    )
-    cfg = train_config(scale, seed)
-    topology = bench.spec.topology
-    hidden = paper.pruned_mei.hidden
+    with span(f"benchmark:{name}", benchmark=name, seed=seed):
+        bench = make_benchmark(name)
+        paper = PAPER_TABLE1[name]
+        data = bench.dataset(
+            n_train=train_samples_for(name, scale), n_test=scale.n_test, seed=seed
+        )
+        cfg = train_config(scale, seed)
+        topology = bench.spec.topology
+        hidden = paper.pruned_mei.hidden
 
-    mei_config = MEIConfig(topology.inputs, topology.outputs, hidden, topology.bits)
-    wide_config = MEIConfig(topology.inputs, topology.outputs, hidden * k, topology.bits)
+        mei_config = MEIConfig(topology.inputs, topology.outputs, hidden, topology.bits)
+        wide_config = MEIConfig(
+            topology.inputs, topology.outputs, hidden * k, topology.bits
+        )
 
-    systems = {
-        "adda": TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg),
-        "mei": MEI(mei_config, seed=seed).train(data.x_train, data.y_train, cfg),
-        "saab": SAAB(
-            lambda i: MEI(mei_config, seed=seed + 1 + i),
-            SAABConfig(
-                n_learners=k,
-                compare_bits=5,
-                noise=NonIdealFactors(sigma_pv=0.05, sigma_sf=0.05, seed=seed),
-                seed=seed,
-            ),
-        ).train(data.x_train, data.y_train, cfg),
-        "wide": MEI(wide_config, seed=seed).train(data.x_train, data.y_train, cfg),
-    }
+        with span("train-systems", k=k):
+            systems = {
+                "adda": TraditionalRCS(topology, seed=seed).train(
+                    data.x_train, data.y_train, cfg
+                ),
+                "mei": MEI(mei_config, seed=seed).train(data.x_train, data.y_train, cfg),
+                "saab": SAAB(
+                    lambda i: MEI(mei_config, seed=seed + 1 + i),
+                    SAABConfig(
+                        n_learners=k,
+                        compare_bits=5,
+                        noise=NonIdealFactors(sigma_pv=0.05, sigma_sf=0.05, seed=seed),
+                        seed=seed,
+                    ),
+                ).train(data.x_train, data.y_train, cfg),
+                "wide": MEI(wide_config, seed=seed).train(data.x_train, data.y_train, cfg),
+            }
 
-    metric = bench.error_normalized
-    curves: List[Fig5Curve] = []
-    for system_name, system in systems.items():
-        for noise_type in ("pv", "sf"):
-            curve = Fig5Curve(benchmark=name, system=system_name, noise_type=noise_type)
-            for sigma in sigmas:
-                noise = _noise(noise_type, float(sigma), seed + 99)
-                evaluation = evaluate_under_noise(
-                    system,
-                    data.x_test,
-                    data.y_test,
-                    metric,
-                    noise,
-                    trials=scale.noise_trials,
-                )
-                curve.sigmas.append(float(sigma))
-                curve.errors.append(evaluation.mean)
-            curves.append(curve)
-    return curves
+        metric = bench.error_normalized
+        curves: List[Fig5Curve] = []
+        for system_name, system in systems.items():
+            for noise_type in ("pv", "sf"):
+                with span(f"sweep:{system_name}-{noise_type}", system=system_name,
+                          noise_type=noise_type):
+                    curve = Fig5Curve(
+                        benchmark=name, system=system_name, noise_type=noise_type
+                    )
+                    for sigma in sigmas:
+                        noise = _noise(noise_type, float(sigma), seed + 99)
+                        evaluation = evaluate_under_noise(
+                            system,
+                            data.x_test,
+                            data.y_test,
+                            metric,
+                            noise,
+                            trials=scale.noise_trials,
+                        )
+                        curve.sigmas.append(float(sigma))
+                        curve.errors.append(evaluation.mean)
+                    curves.append(curve)
+        _log.debug(
+            "fig5 benchmark done",
+            extra={"fields": {"benchmark": name, "curves": len(curves)}},
+        )
+        return curves
 
 
 def run_fig5(
@@ -160,9 +175,10 @@ def run_fig5(
     scale = scale if scale is not None else default_scale()
     executor = get_executor(workers)
     sigmas = tuple(float(s) for s in sigmas)
-    per_benchmark = executor.map(
-        _fig5_benchmark, [(name, sigmas, scale, seed, k) for name in names]
-    )
+    with span("fig5", benchmarks=list(names), sigmas=list(sigmas), k=k):
+        per_benchmark = executor.map(
+            _fig5_benchmark, [(name, sigmas, scale, seed, k) for name in names]
+        )
     result = Fig5Result()
     for curves in per_benchmark:
         result.curves.extend(curves)

@@ -10,7 +10,7 @@ extensions.
 from __future__ import annotations
 
 import pathlib
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 __all__ = ["REPORT_ORDER", "collect_reports"]
 

@@ -28,8 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.core.mei import MEI, MEIConfig
 from repro.core.pruning import prune_lsbs
 from repro.core.rcs import TraditionalRCS
@@ -44,14 +42,22 @@ from repro.experiments.runner import (
     train_config,
     train_samples_for,
 )
+from repro.device.variation import NonIdealFactors
+from repro.metrics.robustness import evaluate_under_noise, robustness_index
 from repro.nn.losses import mse
 from repro.nn.network import MLP
 from repro.nn.trainer import Trainer
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 from repro.quant.fixedpoint import FixedPointCodec
-from repro.workloads.base import Benchmark
 from repro.workloads.registry import BENCHMARK_NAMES, PAPER_TABLE1, make_benchmark
 
 __all__ = ["Table1Row", "Table1Result", "calibrated_params", "run_benchmark_row", "run_table1"]
+
+_log = get_logger("experiments.table1")
+
+ROBUSTNESS_SIGMA_PV = 0.1
+"""Process-variation level of the per-row MEI robustness check."""
 
 
 def calibrated_params() -> Dict[str, CostParams]:
@@ -86,6 +92,10 @@ class Table1Row:
     power_saved_paper_topology: float
     area_saved_measured: float
     power_saved_measured: float
+    robustness_mei: float = float("nan")
+    """Robustness index of the pruned MEI under ``sigma_pv=0.1``
+    process variation (clean/noisy error ratio; 1 = noise-immune).
+    Not part of the paper's Table 1; recorded for the run manifest."""
 
     @property
     def paper(self):
@@ -169,69 +179,110 @@ def run_benchmark_row(
     seed: int = 0,
     params: Optional[Dict[str, CostParams]] = None,
 ) -> Table1Row:
-    """Train the three systems on one benchmark and build its row."""
+    """Train the three systems on one benchmark and build its row.
+
+    Alongside the paper's columns the row records ``robustness_mei``:
+    the pruned MEI's clean/noisy error ratio under ``sigma_pv=0.1``
+    process variation over ``scale.noise_trials`` Monte-Carlo trials
+    (run last, from independent RNG streams, so every other number is
+    untouched).
+    """
     scale = scale if scale is not None else default_scale()
     params = params if params is not None else calibrated_params()
     bench = make_benchmark(name)
     paper = PAPER_TABLE1[name]
-    data = bench.dataset(
-        n_train=train_samples_for(name, scale), n_test=scale.n_test, seed=seed
+    with span(f"row:{name}", benchmark=name, seed=seed, scale=scale.name):
+        data = bench.dataset(
+            n_train=train_samples_for(name, scale), n_test=scale.n_test, seed=seed
+        )
+        cfg = train_config(scale, seed)
+        topology = bench.spec.topology
+        codec = FixedPointCodec(topology.bits)
+        y_test_q = codec.quantize(data.y_test)
+
+        # Digital ANN: ideal floating-point network on raw unit data.
+        with span("digital"):
+            digital = MLP((topology.inputs, topology.hidden, topology.outputs), rng=seed)
+            Trainer(config=cfg).fit(digital, data.x_train, data.y_train)
+            digital_pred = digital.predict(data.x_test)
+
+        # Traditional AD/DA RCS.
+        with span("adda"):
+            rcs = TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg)
+            adda_pred = rcs.predict(data.x_test)
+
+        # MEI, trained then LSB-pruned (Algorithm 2 Line 22).
+        with span("mei"):
+            mei = MEI(
+                MEIConfig(
+                    in_groups=topology.inputs,
+                    out_groups=topology.outputs,
+                    hidden=paper.pruned_mei.hidden,
+                    bits=topology.bits,
+                ),
+                seed=seed,
+            ).train(data.x_train, data.y_train, cfg)
+        mei_error_fn = lambda candidate: bench.error_normalized(
+            candidate.predict(data.x_test), data.y_test
+        )
+        with span("prune") as prune_span:
+            unpruned_error = mei_error_fn(mei)
+            pruned = prune_lsbs(
+                mei,
+                mei_error_fn,
+                max_error=unpruned_error * 1.05,
+                mse=mei.mse(data.x_test, data.y_test),
+            ).mei
+            mei_pred = pruned.predict(data.x_test)
+            prune_span.set(in_bits=pruned.in_bits, out_bits=pruned.out_bits)
+
+        # Robustness spot-check of the deployed MEI (Sec. 5.3 style).
+        error_mei = bench.error_normalized(mei_pred, data.y_test)
+        noisy = evaluate_under_noise(
+            pruned,
+            data.x_test,
+            data.y_test,
+            bench.error_normalized,
+            NonIdealFactors(sigma_pv=ROBUSTNESS_SIGMA_PV, seed=seed + 991),
+            trials=scale.noise_trials,
+        )
+        robustness_mei = robustness_index(error_mei, noisy.mean)
+
+        row = Table1Row(
+            name=name,
+            topology=topology,
+            pruned_topology=pruned.topology(),
+            mse_digital=mse(digital_pred, data.y_test),
+            mse_adda=mse(adda_pred, y_test_q),
+            mse_mei=mse(mei_pred, y_test_q),
+            error_digital=bench.error_normalized(digital_pred, data.y_test),
+            error_adda=bench.error_normalized(adda_pred, data.y_test),
+            error_mei=error_mei,
+            area_saved_paper_topology=savings(
+                topology, paper.pruned_mei, params["area"]
+            ).saved_fraction,
+            power_saved_paper_topology=savings(
+                topology, paper.pruned_mei, params["power"]
+            ).saved_fraction,
+            area_saved_measured=savings(
+                topology, pruned.topology(), params["area"]
+            ).saved_fraction,
+            power_saved_measured=savings(
+                topology, pruned.topology(), params["power"]
+            ).saved_fraction,
+            robustness_mei=robustness_mei,
+        )
+    _log.info(
+        "table1 row done",
+        extra={
+            "fields": {
+                "benchmark": name,
+                "error_mei": round(row.error_mei, 6),
+                "robustness_mei": round(row.robustness_mei, 4),
+            }
+        },
     )
-    cfg = train_config(scale, seed)
-    topology = bench.spec.topology
-    codec = FixedPointCodec(topology.bits)
-    y_test_q = codec.quantize(data.y_test)
-
-    # Digital ANN: ideal floating-point network on raw unit data.
-    digital = MLP((topology.inputs, topology.hidden, topology.outputs), rng=seed)
-    Trainer(config=cfg).fit(digital, data.x_train, data.y_train)
-    digital_pred = digital.predict(data.x_test)
-
-    # Traditional AD/DA RCS.
-    rcs = TraditionalRCS(topology, seed=seed).train(data.x_train, data.y_train, cfg)
-    adda_pred = rcs.predict(data.x_test)
-
-    # MEI, trained then LSB-pruned (Algorithm 2 Line 22).
-    mei = MEI(
-        MEIConfig(
-            in_groups=topology.inputs,
-            out_groups=topology.outputs,
-            hidden=paper.pruned_mei.hidden,
-            bits=topology.bits,
-        ),
-        seed=seed,
-    ).train(data.x_train, data.y_train, cfg)
-    mei_error_fn = lambda candidate: bench.error_normalized(
-        candidate.predict(data.x_test), data.y_test
-    )
-    unpruned_error = mei_error_fn(mei)
-    pruned = prune_lsbs(
-        mei,
-        mei_error_fn,
-        max_error=unpruned_error * 1.05,
-        mse=mei.mse(data.x_test, data.y_test),
-    ).mei
-    mei_pred = pruned.predict(data.x_test)
-
-    return Table1Row(
-        name=name,
-        topology=topology,
-        pruned_topology=pruned.topology(),
-        mse_digital=mse(digital_pred, data.y_test),
-        mse_adda=mse(adda_pred, y_test_q),
-        mse_mei=mse(mei_pred, y_test_q),
-        error_digital=bench.error_normalized(digital_pred, data.y_test),
-        error_adda=bench.error_normalized(adda_pred, data.y_test),
-        error_mei=bench.error_normalized(mei_pred, data.y_test),
-        area_saved_paper_topology=savings(
-            topology, paper.pruned_mei, params["area"]
-        ).saved_fraction,
-        power_saved_paper_topology=savings(
-            topology, paper.pruned_mei, params["power"]
-        ).saved_fraction,
-        area_saved_measured=savings(topology, pruned.topology(), params["area"]).saved_fraction,
-        power_saved_measured=savings(topology, pruned.topology(), params["power"]).saved_fraction,
-    )
+    return row
 
 
 def _row_task(args) -> Table1Row:
@@ -255,6 +306,6 @@ def run_table1(
 
     params = calibrated_params()
     executor = get_executor(workers)
-    return Table1Result(
-        rows=executor.map(_row_task, [(name, scale, seed, params) for name in names])
-    )
+    with span("table1", benchmarks=list(names), seed=seed):
+        rows = executor.map(_row_task, [(name, scale, seed, params) for name in names])
+    return Table1Result(rows=rows)

@@ -28,6 +28,8 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.device.variation import NonIdealFactors, TrialSpec
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 
 __all__ = ["NoisyEvaluation", "evaluate_under_noise", "robustness_index", "noise_sweep"]
 
@@ -102,12 +104,21 @@ def evaluate_under_noise(
         trials = 1
     if batch_predictor is None and vectorize:
         batch_predictor = getattr(predictor, "predict_trials", None)
-    if batch_predictor is not None:
-        stack = np.asarray(batch_predictor(x, noise, trials))
-        values = np.array([metric(stack[t], y_true) for t in range(trials)])
-    else:
-        fn = predictor if callable(predictor) else predictor.predict
-        values = np.array([metric(fn(x, noise, t), y_true) for t in range(trials)])
+    with span(
+        "noise-eval",
+        trials=trials,
+        sigma_pv=float(noise.sigma_pv),
+        sigma_sf=float(noise.sigma_sf),
+        vectorized=batch_predictor is not None,
+    ) as sp:
+        if batch_predictor is not None:
+            stack = np.asarray(batch_predictor(x, noise, trials))
+            values = np.array([metric(stack[t], y_true) for t in range(trials)])
+        else:
+            fn = predictor if callable(predictor) else predictor.predict
+            values = np.array([metric(fn(x, noise, t), y_true) for t in range(trials)])
+        sp.set(mean=float(values.mean()), std=float(values.std()))
+    obs_metrics.counter("mc_trials_evaluated").inc(trials)
     return NoisyEvaluation(noise=noise, trials=trials, values=values)
 
 

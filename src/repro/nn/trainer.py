@@ -8,6 +8,8 @@ and dataset layers, keeping this loop reusable across every experiment.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -16,9 +18,14 @@ import numpy as np
 from repro.nn.datasets import minibatches
 from repro.nn.losses import Loss, WeightedMSE
 from repro.nn.network import MLP
-from repro.nn.optimizers import Adam, Optimizer
+from repro.nn.optimizers import Optimizer
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 
 __all__ = ["TrainConfig", "TrainResult", "Trainer"]
+
+_log = get_logger("nn.trainer")
 
 
 @dataclass(frozen=True)
@@ -86,6 +93,9 @@ class TrainResult:
     val_losses: List[float] = field(default_factory=list)
     epochs_run: int = 0
     stopped_early: bool = False
+    epoch_seconds: List[float] = field(default_factory=list)
+    """Wall time of each epoch run (always populated; one entry per
+    epoch, including a partial early-stopped final epoch)."""
 
     @property
     def final_train_loss(self) -> float:
@@ -94,6 +104,11 @@ class TrainResult:
     @property
     def final_val_loss(self) -> float:
         return self.val_losses[-1] if self.val_losses else float("nan")
+
+    @property
+    def total_seconds(self) -> float:
+        """Total training wall time across all epochs run."""
+        return float(sum(self.epoch_seconds))
 
 
 class Trainer:
@@ -145,58 +160,100 @@ class Trainer:
         best_val = float("inf")
         bad_epochs = 0
         best_layers = None
+        debug = _log.isEnabledFor(logging.DEBUG)
 
-        for epoch in range(self.config.epochs):
-            if (
-                self.config.lr_decay_every
-                and epoch
-                and epoch % self.config.lr_decay_every == 0
-            ):
-                optimizer.learning_rate *= self.config.lr_decay
-            for xb, yb, wb in minibatches(x, y, self.config.batch_size, rng, sample_weights):
-                clean_weights = None
-                if self.config.weight_noise_sigma > 0:
-                    clean_weights = [layer.weights.copy() for layer in model.layers]
-                    for layer in model.layers:
-                        layer.weights *= rng.lognormal(
-                            0.0, self.config.weight_noise_sigma, layer.weights.shape
-                        )
-                pred = model.forward(xb, train=True)
-                grad = self.loss.gradient(pred, yb, wb)
-                model.backward(grad)
-                if clean_weights is not None:
-                    # Apply the perturbed-point gradients to the clean
-                    # weights (standard noise-injection training).
-                    for layer, weights in zip(model.layers, clean_weights):
-                        layer.weights[...] = weights
-                if self.config.l2 > 0:
-                    for layer in model.layers:
-                        layer.grad_weights += self.config.l2 * layer.weights
-                optimizer.step(model.layers)
+        with span(
+            "train",
+            epochs=self.config.epochs,
+            samples=int(x.shape[0]),
+            layers=list(model.layer_sizes),
+        ) as sp:
+            for epoch in range(self.config.epochs):
+                epoch_start = time.perf_counter()
+                if (
+                    self.config.lr_decay_every
+                    and epoch
+                    and epoch % self.config.lr_decay_every == 0
+                ):
+                    optimizer.learning_rate *= self.config.lr_decay
+                for xb, yb, wb in minibatches(x, y, self.config.batch_size, rng, sample_weights):
+                    clean_weights = None
+                    if self.config.weight_noise_sigma > 0:
+                        clean_weights = [layer.weights.copy() for layer in model.layers]
+                        for layer in model.layers:
+                            layer.weights *= rng.lognormal(
+                                0.0, self.config.weight_noise_sigma, layer.weights.shape
+                            )
+                    pred = model.forward(xb, train=True)
+                    grad = self.loss.gradient(pred, yb, wb)
+                    model.backward(grad)
+                    if clean_weights is not None:
+                        # Apply the perturbed-point gradients to the clean
+                        # weights (standard noise-injection training).
+                        for layer, weights in zip(model.layers, clean_weights):
+                            layer.weights[...] = weights
+                    if self.config.l2 > 0:
+                        for layer in model.layers:
+                            layer.grad_weights += self.config.l2 * layer.weights
+                    optimizer.step(model.layers)
 
-            if self.config.track_train_loss and (
-                (epoch + 1) % self.config.log_every == 0
-                or epoch + 1 == self.config.epochs
-            ):
-                result.train_losses.append(
-                    self.loss.value(model.predict(x), y, sample_weights)
-                )
-            result.epochs_run = epoch + 1
+                if self.config.track_train_loss and (
+                    (epoch + 1) % self.config.log_every == 0
+                    or epoch + 1 == self.config.epochs
+                ):
+                    result.train_losses.append(
+                        self.loss.value(model.predict(x), y, sample_weights)
+                    )
+                result.epochs_run = epoch + 1
 
-            if x_val is not None and y_val is not None:
-                val = self.loss.value(model.predict(x_val), np.asarray(y_val, dtype=float))
-                result.val_losses.append(val)
-                if self.config.patience:
-                    if val < best_val - self.config.min_delta:
-                        best_val = val
-                        bad_epochs = 0
-                        best_layers = [layer.copy() for layer in model.layers]
-                    else:
-                        bad_epochs += 1
-                        if bad_epochs >= self.config.patience:
-                            result.stopped_early = True
-                            break
+                stop = False
+                if x_val is not None and y_val is not None:
+                    val = self.loss.value(model.predict(x_val), np.asarray(y_val, dtype=float))
+                    result.val_losses.append(val)
+                    if self.config.patience:
+                        if val < best_val - self.config.min_delta:
+                            best_val = val
+                            bad_epochs = 0
+                            best_layers = [layer.copy() for layer in model.layers]
+                        else:
+                            bad_epochs += 1
+                            if bad_epochs >= self.config.patience:
+                                result.stopped_early = True
+                                stop = True
+                result.epoch_seconds.append(time.perf_counter() - epoch_start)
+                if debug and (
+                    (epoch + 1) % max(1, self.config.log_every) == 0
+                    or epoch + 1 == self.config.epochs
+                ):
+                    _log.debug(
+                        "epoch done",
+                        extra={
+                            "fields": {
+                                "epoch": epoch + 1,
+                                "train_loss": result.train_losses[-1]
+                                if result.train_losses
+                                else None,
+                                "val_loss": result.val_losses[-1]
+                                if result.val_losses
+                                else None,
+                                "seconds": round(result.epoch_seconds[-1], 6),
+                            }
+                        },
+                    )
+                if stop:
+                    break
 
+            sp.set(
+                epochs_run=result.epochs_run,
+                stopped_early=result.stopped_early,
+                final_train_loss=float(result.final_train_loss),
+                total_seconds=round(result.total_seconds, 6),
+                epoch_seconds=[round(s, 6) for s in result.epoch_seconds],
+            )
+
+        obs_metrics.counter("train_runs").inc()
+        obs_metrics.counter("train_epochs").inc(result.epochs_run)
+        obs_metrics.histogram("train_epoch_seconds").observe_many(result.epoch_seconds)
         if result.stopped_early and best_layers is not None:
             model.layers = best_layers
         return result

@@ -1,0 +1,61 @@
+"""Observability layer: structured logging, span tracing, metrics, manifests.
+
+The four pillars (see ``docs/observability.md``):
+
+* :mod:`repro.obs.log` — per-module structured loggers on stderr, with
+  an optional JSONL sink (``REPRO_LOG`` / ``REPRO_LOG_JSON``);
+* :mod:`repro.obs.trace` — nested wall-clock spans with a
+  thread/process-safe collector (``REPRO_TRACE=1``);
+* :mod:`repro.obs.metrics` — counters / gauges / histograms for the
+  pipeline's quantitative telemetry (always on, coarse call sites);
+* :mod:`repro.obs.runinfo` — run manifests binding git SHA, host, env
+  knobs, seed, span tree and metrics into one archived JSON per run.
+
+Everything is dependency-free (stdlib only) and safe to import from
+any layer of the package.
+"""
+
+from repro.obs.log import LOG_ENV, LOG_JSON_ENV, configure, get_logger
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+)
+from repro.obs.runinfo import (
+    RUN_DIR_ENV,
+    build_manifest,
+    environment_info,
+    provenance_header,
+    write_manifest,
+)
+from repro.obs.trace import (
+    TRACE_ENV,
+    SpanRecord,
+    render_tree,
+    span,
+    span_tree,
+)
+
+__all__ = [
+    "LOG_ENV",
+    "LOG_JSON_ENV",
+    "TRACE_ENV",
+    "RUN_DIR_ENV",
+    "configure",
+    "get_logger",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "SpanRecord",
+    "span",
+    "span_tree",
+    "render_tree",
+    "build_manifest",
+    "environment_info",
+    "provenance_header",
+    "write_manifest",
+]

@@ -1,0 +1,180 @@
+"""Structured logging for the experiment pipeline.
+
+Every module gets a named child of the ``repro`` logger hierarchy via
+:func:`get_logger`.  Configuration is lazy and environment-driven:
+
+* ``REPRO_LOG`` sets the level (``debug`` / ``info`` / ``warning`` /
+  ``error``; default ``warning``, so the pipeline is silent unless
+  asked);
+* ``REPRO_LOG_JSON`` names a file that additionally receives every
+  record as one JSON object per line (machine-readable sink).
+
+Diagnostics always go to **stderr** so result tables printed by
+``python -m repro`` stay alone on stdout and redirecting stdout
+captures only the artifact::
+
+    REPRO_LOG=info python -m repro table1 > results.txt
+
+Structured key-value payloads ride on the standard :mod:`logging`
+``extra`` mechanism::
+
+    log = get_logger("core.dse")
+    log.info("hidden search done", extra={"fields": {"hidden": 32}})
+
+The human sink renders ``fields`` appended to the message; the JSONL
+sink emits them as a nested object, so the line round-trips through
+``json.loads``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import IO, Optional
+
+__all__ = [
+    "LOG_ENV",
+    "LOG_JSON_ENV",
+    "JsonlFormatter",
+    "configure",
+    "get_logger",
+    "level_from_env",
+]
+
+LOG_ENV = "REPRO_LOG"
+"""Environment variable selecting the log level (name or number)."""
+
+LOG_JSON_ENV = "REPRO_LOG_JSON"
+"""Environment variable naming the JSONL log sink file."""
+
+ROOT_LOGGER = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "warn": logging.WARNING,
+    "error": logging.ERROR,
+    "critical": logging.CRITICAL,
+}
+
+_configured = False
+
+
+def level_from_env(default: int = logging.WARNING) -> int:
+    """Resolve the level named by ``REPRO_LOG`` (default WARNING)."""
+    raw = os.environ.get(LOG_ENV, "").strip().lower()
+    if not raw:
+        return default
+    if raw in _LEVELS:
+        return _LEVELS[raw]
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+class _StderrHandler(logging.StreamHandler):
+    """Stream handler that resolves ``sys.stderr`` at *emit* time.
+
+    Binding the stream lazily keeps logging working when the process
+    swaps ``sys.stderr`` after configuration (pytest's capture does).
+    """
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self) -> IO[str]:
+        return sys.stderr
+
+
+class _HumanFormatter(logging.Formatter):
+    """Console format; appends the structured ``fields`` payload."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields = getattr(record, "fields", None)
+        if fields:
+            kv = " ".join(f"{k}={v}" for k, v in fields.items())
+            return f"{base} [{kv}]"
+        return base
+
+
+class JsonlFormatter(logging.Formatter):
+    """One JSON object per record: ts, level, logger, message, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "pid": record.process,
+        }
+        fields = getattr(record, "fields", None)
+        if fields:
+            payload["fields"] = fields
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure(
+    level: "Optional[int | str]" = None,
+    json_path: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+    force: bool = False,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` root logger.
+
+    Parameters
+    ----------
+    level:
+        Level name or number; defaults to ``REPRO_LOG`` / WARNING.
+    json_path:
+        JSONL sink file; defaults to ``REPRO_LOG_JSON`` (unset = no
+        JSON sink).
+    stream:
+        Human sink stream (default ``sys.stderr``).
+    force:
+        Reinstall handlers even if already configured (the CLI's
+        ``--log-level`` path).
+    """
+    global _configured
+    root = logging.getLogger(ROOT_LOGGER)
+    if _configured and not force:
+        return root
+    if isinstance(level, str):
+        level = _LEVELS.get(level.strip().lower(), logging.WARNING)
+    root.setLevel(level if level is not None else level_from_env())
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+        handler.close()
+    human = logging.StreamHandler(stream) if stream is not None else _StderrHandler()
+    human.setFormatter(
+        _HumanFormatter("%(asctime)s %(levelname)-7s %(name)s | %(message)s", "%H:%M:%S")
+    )
+    root.addHandler(human)
+    json_path = json_path if json_path is not None else os.environ.get(LOG_JSON_ENV)
+    if json_path:
+        sink = logging.FileHandler(json_path, encoding="utf-8")
+        sink.setFormatter(JsonlFormatter())
+        root.addHandler(sink)
+    root.propagate = False
+    _configured = True
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger for one module, e.g. ``get_logger("nn.trainer")``.
+
+    Configures the hierarchy from the environment on first use.
+    """
+    if not _configured:
+        configure()
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

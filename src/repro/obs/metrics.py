@@ -1,0 +1,244 @@
+"""Lightweight metrics registry: counters, gauges, histograms.
+
+The pipeline's quantitative telemetry — epochs run, Monte-Carlo trials
+evaluated, crossbar MACs issued, MNA solves, executor task latencies —
+accumulates in one process-wide :class:`MetricsRegistry`.  Call sites
+are coarse (one update per training run / forward pass / solve), so
+the registry is always on; a metric update is a dict lookup plus a
+lock-guarded add.
+
+Cross-process sweeps: a :class:`ProcessExecutor` worker snapshots the
+registry before and after each task and ships the :func:`diff` home,
+where the parent :func:`merge`\\ s it — so ``snapshot()`` after a
+parallel sweep matches the serial run's totals.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+    "snapshot",
+    "merge",
+    "diff",
+    "clear",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only increase, got {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-set value (e.g. worker utilization of the latest sweep)."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary: count, sum, min, max (and derived mean)."""
+
+    __slots__ = ("_lock", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        values = [float(v) for v in values]
+        if not values:
+            return
+        with self._lock:
+            self.count += len(values)
+            self.sum += sum(values)
+            self.min = min(self.min, min(values))
+            self.max = max(self.max, max(values))
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            if not self.count:
+                return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": None}
+            return {
+                "count": self.count,
+                "sum": round(self.sum, 9),
+                "min": self.min,
+                "max": self.max,
+                "mean": self.sum / self.count,
+            }
+
+
+class MetricsRegistry:
+    """Named metric store with snapshot / merge / diff support."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram()
+            return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Plain-dict (JSON/pickle-safe) view of every metric."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {k: v.value for k, v in sorted(counters.items())},
+            "gauges": {k: v.value for k, v in sorted(gauges.items())},
+            "histograms": {k: v.summary() for k, v in sorted(histograms.items())},
+        }
+
+    def merge(self, snap: Dict[str, Dict[str, object]]) -> None:
+        """Fold a snapshot (typically a worker's :func:`diff`) in.
+
+        Counters add; gauges take the incoming value; histograms
+        combine count/sum/min/max.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, summary in snap.get("histograms", {}).items():
+            if not summary or not summary.get("count"):
+                continue
+            metric = self.histogram(name)
+            with metric._lock:
+                metric.count += int(summary["count"])
+                metric.sum += float(summary["sum"])
+                if summary.get("min") is not None:
+                    metric.min = min(metric.min, float(summary["min"]))
+                if summary.get("max") is not None:
+                    metric.max = max(metric.max, float(summary["max"]))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+def diff(
+    before: Dict[str, Dict[str, object]], after: Dict[str, Dict[str, object]]
+) -> Dict[str, Dict[str, object]]:
+    """What happened between two snapshots (worker-task attribution).
+
+    Counter and histogram count/sum deltas are exact; a histogram's
+    min/max come from the ``after`` snapshot (a bound, not the exact
+    window extremum); gauges are included only when they changed.
+    """
+    out: Dict[str, Dict[str, object]] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for name, value in after.get("counters", {}).items():
+        delta = float(value) - float(before.get("counters", {}).get(name, 0.0))
+        if delta > 0:
+            out["counters"][name] = delta
+    for name, value in after.get("gauges", {}).items():
+        if before.get("gauges", {}).get(name) != value:
+            out["gauges"][name] = value
+    for name, summary in after.get("histograms", {}).items():
+        prior = before.get("histograms", {}).get(name) or {"count": 0, "sum": 0.0}
+        count = int(summary.get("count", 0)) - int(prior.get("count", 0))
+        if count > 0:
+            out["histograms"][name] = {
+                "count": count,
+                "sum": float(summary.get("sum", 0.0)) - float(prior.get("sum", 0.0)),
+                "min": summary.get("min"),
+                "max": summary.get("max"),
+            }
+    return out
+
+
+REGISTRY = MetricsRegistry()
+"""The process-wide default registry."""
+
+
+def counter(name: str) -> Counter:
+    return REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return REGISTRY.histogram(name)
+
+
+def snapshot() -> Dict[str, Dict[str, object]]:
+    return REGISTRY.snapshot()
+
+
+def merge(snap: Optional[Dict[str, Dict[str, object]]]) -> None:
+    if snap:
+        REGISTRY.merge(snap)
+
+
+def clear() -> None:
+    REGISTRY.clear()

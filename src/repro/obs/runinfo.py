@@ -1,0 +1,156 @@
+"""Run manifests: provenance + telemetry for every experiment run.
+
+A *manifest* answers "which code, on which machine, with which knobs,
+produced this number, and where did the time go": git SHA, hostname,
+Python/NumPy versions, every ``REPRO_*`` environment knob, the seed
+and scale, the collected span tree and a metrics snapshot.  Experiment
+drivers write one per run to ``runs/<timestamp>-<experiment>.json``
+(directory overridable via ``--run-dir`` / ``REPRO_RUN_DIR``).
+
+Benchmark harnesses embed :func:`provenance_header` in their archived
+JSON payloads so BENCH trajectories stay comparable across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import socket
+import subprocess
+import time
+from dataclasses import asdict, is_dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+
+__all__ = [
+    "RUN_DIR_ENV",
+    "git_sha",
+    "repro_env",
+    "environment_info",
+    "provenance_header",
+    "build_manifest",
+    "write_manifest",
+]
+
+RUN_DIR_ENV = "REPRO_RUN_DIR"
+"""Environment variable overriding the default ``runs/`` directory."""
+
+DEFAULT_RUN_DIR = "runs"
+
+
+def git_sha(cwd: Optional[str] = None) -> Optional[str]:
+    """HEAD commit of the enclosing git checkout, or None."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd or os.getcwd(),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def repro_env() -> Dict[str, str]:
+    """All ``REPRO_*`` environment knobs currently set."""
+    return {k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")}
+
+
+def environment_info() -> Dict[str, object]:
+    """Host / toolchain / knob provenance."""
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep
+        numpy_version = None
+    return {
+        "git_sha": git_sha(),
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+        "repro_env": repro_env(),
+    }
+
+
+def provenance_header(**extra: object) -> Dict[str, object]:
+    """Provenance block for archived benchmark payloads."""
+    header: Dict[str, object] = {
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        **environment_info(),
+    }
+    header.update(extra)
+    return header
+
+
+def _scale_dict(scale: object) -> object:
+    if scale is None:
+        return None
+    if is_dataclass(scale) and not isinstance(scale, type):
+        return asdict(scale)
+    return str(scale)
+
+
+def build_manifest(
+    experiment: str,
+    seed: Optional[int] = None,
+    scale: object = None,
+    argv: Optional[Sequence[str]] = None,
+    extra: Optional[Dict[str, object]] = None,
+    spans: Optional[Sequence[_trace.SpanRecord]] = None,
+    metrics_snapshot: Optional[Dict[str, Dict[str, object]]] = None,
+) -> Dict[str, object]:
+    """Assemble the manifest dict (spans/metrics default to the
+    process-wide collectors' current contents)."""
+    if spans is None:
+        spans = _trace.get_records()
+    if metrics_snapshot is None:
+        metrics_snapshot = _metrics.snapshot()
+    tree = _trace.span_tree(spans)
+    return {
+        "experiment": experiment,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "seed": seed,
+        "scale": _scale_dict(scale),
+        "argv": list(argv) if argv is not None else None,
+        "environment": environment_info(),
+        "metrics": metrics_snapshot,
+        "span_tree": tree,
+        "spans": [record.to_dict() for record in spans],
+        **(extra or {}),
+    }
+
+
+def write_manifest(
+    experiment: str,
+    run_dir: "Optional[str | pathlib.Path]" = None,
+    **kwargs: object,
+) -> pathlib.Path:
+    """Write ``<run_dir>/<timestamp>-<experiment>.json``; return its path.
+
+    ``run_dir`` resolves explicit argument > ``REPRO_RUN_DIR`` >
+    ``runs/`` under the current directory.
+    """
+    if run_dir is None:
+        run_dir = os.environ.get(RUN_DIR_ENV) or DEFAULT_RUN_DIR
+    directory = pathlib.Path(run_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%S")
+    path = directory / f"{stamp}-{experiment}.json"
+    counter = 1
+    while path.exists():
+        path = directory / f"{stamp}-{experiment}.{counter}.json"
+        counter += 1
+    manifest = build_manifest(experiment, **kwargs)
+    path.write_text(json.dumps(manifest, indent=2, default=str) + "\n", encoding="utf-8")
+    return path

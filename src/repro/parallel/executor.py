@@ -27,8 +27,14 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import warnings
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger
 
 __all__ = [
     "WORKERS_ENV",
@@ -74,6 +80,106 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     return workers
 
 
+_log = get_logger("parallel")
+
+
+@dataclass
+class _TaskOutcome:
+    """A worker's result plus the telemetry it produced."""
+
+    result: object
+    queue_wait: float
+    exec_seconds: float
+    spans: Optional[List[obs_trace.SpanRecord]] = None
+    metrics: Optional[Dict[str, Dict[str, object]]] = field(default=None)
+
+
+class _ObsTask:
+    """Task wrapper adding per-task telemetry to a pool map.
+
+    Measures queue wait (submit -> start) and execute time, and — when
+    the task runs in a *different process* — ships the spans and
+    metric deltas the task produced back to the parent, which absorbs
+    them so parallel sweeps and serial runs report the same tree and
+    totals.  Picklable exactly when the wrapped ``fn`` is.
+    """
+
+    __slots__ = ("fn", "parent_pid", "context", "trace_on", "enqueued")
+
+    def __init__(self, fn: Callable):
+        self.fn = fn
+        self.parent_pid = os.getpid()
+        self.context = obs_trace.current_path()
+        self.trace_on = obs_trace.enabled()
+        self.enqueued = time.time()
+
+    def __call__(self, item):
+        started = time.time()
+        foreign = os.getpid() != self.parent_pid
+        span_mark = metrics_before = None
+        if self.trace_on:
+            if foreign:
+                # A spawn-started worker loses the parent's runtime
+                # enable flag (fork inherits it); set both either way.
+                obs_trace.enable(True)
+                span_mark = obs_trace.mark()
+            obs_trace.set_context(self.context)
+        if foreign:
+            metrics_before = obs_metrics.snapshot()
+        t0 = time.perf_counter()
+        result = self.fn(item)
+        exec_seconds = time.perf_counter() - t0
+        outcome = _TaskOutcome(
+            result=result,
+            queue_wait=max(0.0, started - self.enqueued),
+            exec_seconds=exec_seconds,
+        )
+        if foreign:
+            if span_mark is not None:
+                outcome.spans = obs_trace.records_since(span_mark)
+            outcome.metrics = obs_metrics.diff(metrics_before, obs_metrics.snapshot())
+        return outcome
+
+
+def _harvest(
+    outcomes: Sequence[_TaskOutcome], workers: int, wall_seconds: float, kind: str
+) -> List:
+    """Unwrap outcomes, folding worker telemetry into this process."""
+    results = []
+    busy = 0.0
+    queue_hist = obs_metrics.histogram("executor_queue_wait_seconds")
+    task_hist = obs_metrics.histogram("executor_task_seconds")
+    for outcome in outcomes:
+        results.append(outcome.result)
+        busy += outcome.exec_seconds
+        queue_hist.observe(outcome.queue_wait)
+        task_hist.observe(outcome.exec_seconds)
+        if outcome.spans:
+            obs_trace.absorb(outcome.spans)
+        if outcome.metrics:
+            obs_metrics.merge(outcome.metrics)
+    obs_metrics.counter("executor_tasks").inc(len(outcomes))
+    utilization = (
+        busy / (workers * wall_seconds) if workers and wall_seconds > 0 else 0.0
+    )
+    obs_metrics.gauge("executor_utilization").set(utilization)
+    if _log.isEnabledFor(10):  # DEBUG
+        _log.debug(
+            "%s map done",
+            kind,
+            extra={
+                "fields": {
+                    "tasks": len(outcomes),
+                    "workers": workers,
+                    "wall_s": round(wall_seconds, 4),
+                    "busy_s": round(busy, 4),
+                    "utilization": round(utilization, 3),
+                }
+            },
+        )
+    return results
+
+
 class Executor:
     """Order-preserving ``map`` over independent tasks."""
 
@@ -107,8 +213,14 @@ class ThreadExecutor(Executor):
             return [fn(item) for item in items]
         from concurrent.futures import ThreadPoolExecutor
 
-        with ThreadPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
-            return list(pool.map(fn, items))
+        pool_size = min(self.workers, len(items))
+        with obs_trace.span("parallel_map", kind="thread", tasks=len(items),
+                            workers=pool_size):
+            task = _ObsTask(fn)
+            t0 = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=pool_size) as pool:
+                outcomes = list(pool.map(task, items))
+            return _harvest(outcomes, pool_size, time.perf_counter() - t0, "thread")
 
 
 class ProcessExecutor(Executor):
@@ -147,9 +259,15 @@ class ProcessExecutor(Executor):
         from concurrent.futures import ProcessPoolExecutor
         from concurrent.futures.process import BrokenProcessPool
 
+        pool_size = min(self.workers, len(items))
         try:
-            with ProcessPoolExecutor(max_workers=min(self.workers, len(items))) as pool:
-                return list(pool.map(fn, items))
+            with obs_trace.span("parallel_map", kind="process", tasks=len(items),
+                                workers=pool_size):
+                task = _ObsTask(fn)
+                t0 = time.perf_counter()
+                with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                    outcomes = list(pool.map(task, items))
+                return _harvest(outcomes, pool_size, time.perf_counter() - t0, "process")
         except BrokenProcessPool:
             warnings.warn(
                 "process pool broke mid-sweep; re-running serially",

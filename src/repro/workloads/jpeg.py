@@ -19,7 +19,7 @@ Substrate implemented from scratch:
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Tuple
 
 import numpy as np
 

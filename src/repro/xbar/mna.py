@@ -24,11 +24,18 @@ ambiguous Eq. 2 subscripts.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.log import get_logger
+
 __all__ = ["MNACrossbar"]
+
+_log = get_logger("xbar.mna")
 
 
 class MNACrossbar:
@@ -147,8 +154,23 @@ class MNACrossbar:
         # ndarray matmul avoids both the per-solve densification and
         # the deprecated np.matrix semantics of ``.todense()``.
         self._source_map_dense = np.asarray(self._source_map.toarray(), dtype=float)
+        t0 = time.perf_counter()
         self._factorized = spla.factorized(matrix)
+        factorize_seconds = time.perf_counter() - t0
         self._n_nodes = n_nodes
+        obs_metrics.counter("mna_factorizations").inc()
+        obs_metrics.histogram("mna_factorize_seconds").observe(factorize_seconds)
+        _log.debug(
+            "factorized MNA system",
+            extra={
+                "fields": {
+                    "rows": n,
+                    "cols": m,
+                    "nodes": n_nodes,
+                    "seconds": round(factorize_seconds, 6),
+                }
+            },
+        )
 
     def solve(self, v_in: np.ndarray) -> np.ndarray:
         """Solve the network for a batch of input voltage vectors.
@@ -170,8 +192,12 @@ class MNACrossbar:
         v_in = np.atleast_2d(np.asarray(v_in, dtype=float))
         if v_in.shape[1] != self.rows:
             raise ValueError(f"input has {v_in.shape[1]} ports, crossbar has {self.rows} rows")
+        t_start = time.perf_counter()
         rhs = self._source_map_dense @ v_in.T  # (n_nodes, batch)
         solution = self._factorized(rhs)
+        obs_metrics.counter("mna_solves").inc()
+        obs_metrics.counter("mna_rhs_vectors").inc(v_in.shape[0])
+        obs_metrics.histogram("mna_solve_seconds").observe(time.perf_counter() - t_start)
         t0 = self._t_index(0)
         return solution[t0 : t0 + self.cols].T
 

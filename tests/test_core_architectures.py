@@ -7,9 +7,8 @@ from repro.core.deploy import AnalogMLP
 from repro.core.mei import MEI, MEIConfig
 from repro.core.rcs import TraditionalRCS
 from repro.cost.area import Topology
-from repro.device.variation import IDEAL, NonIdealFactors
+from repro.device.variation import NonIdealFactors
 from repro.nn.network import MLP
-from repro.nn.trainer import TrainConfig
 
 
 def _toy_data(rng, n=400):

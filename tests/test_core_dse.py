@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro.core.dse import DSEConfig, DSEResult, explore, search_hidden_size
+from repro.core.dse import DSEConfig, explore, search_hidden_size
 from repro.core.mei import MEI, MEIConfig
-from repro.core.saab import SAAB
 from repro.cost.area import Topology
 from repro.device.variation import NonIdealFactors
 from repro.nn.trainer import TrainConfig

@@ -1,7 +1,6 @@
 """Tests for write-verify programmed deployment of AnalogMLP."""
 
 import numpy as np
-import pytest
 
 from repro.core.deploy import AnalogMLP
 from repro.device.programming import ProgrammingConfig

@@ -7,7 +7,6 @@ from repro.core.mei import MEI, MEIConfig
 from repro.core.pruning import prune_input_bits, prune_lsbs, prune_output_bits
 from repro.core.saab import SAAB, SAABConfig
 from repro.device.variation import NonIdealFactors
-from repro.nn.trainer import TrainConfig
 
 
 def _toy_data(rng, n=400):

@@ -1,7 +1,6 @@
 """SAAB over TraditionalRCS learners (the protocol's second implementor)."""
 
 import numpy as np
-import pytest
 
 from repro.core.rcs import TraditionalRCS
 from repro.core.saab import SAAB, SAABConfig

@@ -9,7 +9,6 @@ from repro.core.saab import SAAB, SAABConfig
 from repro.device.faults import FaultModel, inject_faults, inject_faults_analog
 from repro.device.rram import HFOX_DEVICE
 from repro.nn.network import MLP
-from repro.nn.trainer import TrainConfig
 from repro.xbar.crossbar import Crossbar
 
 

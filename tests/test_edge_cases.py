@@ -1,7 +1,6 @@
 """Edge-case tests: boundary conditions users will eventually hit."""
 
 import numpy as np
-import pytest
 
 from repro.core.mei import MEI, MEIConfig
 from repro.core.rcs import TraditionalRCS

@@ -1,6 +1,5 @@
 """Tests for the experiment harnesses (tiny scales, shape checks only)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.fig2 import run_fig2

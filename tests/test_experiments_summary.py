@@ -2,7 +2,6 @@
 
 import pathlib
 
-import pytest
 
 from repro.__main__ import main
 from repro.experiments.summary import REPORT_ORDER, collect_reports

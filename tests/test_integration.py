@@ -15,15 +15,14 @@ from repro import (
     MEIConfig,
     NonIdealFactors,
     SAABConfig,
-    Topology,
     TraditionalRCS,
     explore,
     make_benchmark,
 )
 from repro.nn.trainer import TrainConfig
-from repro.workloads.fft import approximate_fft, twiddle
-from repro.workloads.kmeans import rgb_distance, segment_image, synthetic_rgb_image
-from repro.workloads.sobel import sobel_image, sobel_window
+from repro.workloads.fft import approximate_fft
+from repro.workloads.kmeans import segment_image, synthetic_rgb_image
+from repro.workloads.sobel import sobel_image
 
 FAST = TrainConfig(epochs=60, batch_size=128, learning_rate=0.01, shuffle_seed=0)
 # FFT's bit mapping (zero crossings in cos/sin) needs a longer budget.

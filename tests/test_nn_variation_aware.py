@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.mei import MEI, MEIConfig
 from repro.device.variation import NonIdealFactors
-from repro.nn.losses import WeightedMSE
 from repro.nn.network import MLP
 from repro.nn.trainer import TrainConfig, Trainer
 

@@ -14,7 +14,7 @@ import pytest
 from repro.core.dse import DSEConfig, _make_candidate_mei, search_hidden_size
 from repro.device.variation import NonIdealFactors
 from repro.experiments.runner import repeat_with_seeds
-from repro.metrics.robustness import evaluate_under_noise, noise_sweep
+from repro.metrics.robustness import noise_sweep
 from repro.nn.trainer import TrainConfig
 from repro.parallel import (
     ProcessExecutor,

@@ -1,7 +1,6 @@
 """Invariant tests for SAAB's boosting state machine."""
 
 import numpy as np
-import pytest
 
 from repro.core.mei import MEI, MEIConfig
 from repro.core.saab import SAAB, SAABConfig

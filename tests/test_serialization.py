@@ -8,7 +8,7 @@ from repro.core.rcs import TraditionalRCS
 from repro.core.saab import SAAB, SAABConfig
 from repro.cost.area import Topology
 from repro.nn.network import MLP
-from repro.nn.trainer import TrainConfig, Trainer
+from repro.nn.trainer import TrainConfig
 from repro.serialization import (
     load_mei,
     load_mlp,

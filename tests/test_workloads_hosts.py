@@ -6,7 +6,6 @@ suite covers learned kernels).
 """
 
 import numpy as np
-import pytest
 
 from repro.workloads.fft import approximate_fft, radix2_fft, twiddle
 from repro.workloads.jpeg import (

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.device.rram import HFOX_DEVICE, RRAMDevice
+from repro.device.rram import HFOX_DEVICE
 from repro.xbar.compensation import (
     compensate_ir_drop,
     effective_coefficients,
