@@ -17,7 +17,7 @@ def test_bench_fig4_methods(benchmark, save_report, scale):
         rounds=1,
         iterations=1,
     )
-    save_report("fig4_methods", result.render())
+    save_report("fig4_methods", result.render(), rows=result.row_dicts())
 
     assert len(result.rows) == len(BENCHMARK_NAMES)
     # SAAB helps on average ...

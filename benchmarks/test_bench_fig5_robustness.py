@@ -24,7 +24,7 @@ def test_bench_fig5_robustness(benchmark, save_report, scale):
         rounds=1,
         iterations=1,
     )
-    save_report("fig5_robustness", result.render())
+    save_report("fig5_robustness", result.render(), rows=result.row_dicts())
 
     for name in BENCHES:
         # Error grows (weakly) with PV level for the baseline MEI.

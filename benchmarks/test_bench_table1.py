@@ -50,7 +50,7 @@ def test_bench_table1_row(name, benchmark, save_report, scale, params):
         f"power saved — paper {paper.power_saved:.4f}, calibrated-on-paper-topology "
         f"{row.power_saved_paper_topology:.4f}, measured {row.power_saved_measured:.4f}",
     ]
-    save_report(f"table1_{name}", "\n".join(lines))
+    save_report(f"table1_{name}", "\n".join(lines), rows=[row.as_dict()])
 
     # Digital is the quality ceiling (small tolerance for noise in the
     # application metrics at quick scales).

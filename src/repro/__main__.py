@@ -10,6 +10,12 @@ Usage::
     python -m repro bitlength             # MEI word-length extension
     python -m repro all                   # everything, in paper order
 
+    python -m repro bench                 # bench suite -> runs/history.jsonl
+    python -m repro compare [--baseline SHA] [--strict]   # regression gate
+    python -m repro report                # trajectory report (md + HTML)
+    python -m repro summary               # collate archived bench tables
+    python -m repro --version
+
 Add ``--full`` for the paper-scale budgets (10k train samples, 400
 epochs, 100 noise trials); the default quick budgets finish in
 minutes.
@@ -22,15 +28,25 @@ Observability: tables go to **stdout**, diagnostics to **stderr**, so
 land (default ``runs/``).  A manifest is written per experiment
 whenever tracing is enabled or ``--run-dir`` is given; see
 ``docs/observability.md``.
+
+Benchmark trajectory: ``bench`` appends a provenance-stamped metric
+entry to the history store (``runs/history.jsonl`` or ``--history`` /
+``REPRO_HISTORY``); ``compare`` gates the latest entry against a
+baseline (``--baseline SHA`` resolves through history, falling back to
+the committed ``benchmarks/baseline.json``) and exits non-zero on
+regression; ``report`` renders the trajectory as markdown (stdout) and
+a self-contained HTML page.  See ``docs/benchmarking.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import os
 import sys
 
+from repro import __version__
 from repro.experiments.bitlength import run_bitlength
 from repro.experiments.fig2 import run_fig2
 from repro.experiments.fig3 import run_fig3
@@ -63,10 +79,70 @@ def _table1(args, scale) -> str:
     return run_table1(scale=scale, seed=args.seed).render()
 
 
-def _report() -> str:
+def _summary() -> str:
     from repro.experiments.summary import collect_reports
 
     return collect_reports()
+
+
+def _run_bench(args, scale) -> int:
+    from repro.experiments.bench import render_bench_entry, run_bench, write_baseline
+
+    names = [args.bench] if args.bench else list(BENCHMARK_NAMES)
+    entry, history_file = run_bench(
+        names=names, scale=scale, seed=args.seed, history_path=args.history
+    )
+    print(render_bench_entry(entry))
+    if history_file is not None:
+        _log.info(
+            "history updated",
+            extra={"fields": {"path": os.fspath(history_file)}},
+        )
+    if args.write_baseline:
+        baseline = write_baseline(entry)
+        _log.info(
+            "baseline snapshot written",
+            extra={"fields": {"path": os.fspath(baseline)}},
+        )
+    return 0
+
+
+def _run_compare(args) -> int:
+    from repro.obs.compare import compare_history
+
+    result = compare_history(
+        history_path=args.history,
+        baseline_sha=args.baseline,
+        baseline_file=args.baseline_file,
+    )
+    if result is None:
+        message = (
+            "nothing to compare: need at least one history entry "
+            "(run `python -m repro bench`) and a resolvable baseline"
+        )
+        print(message)
+        return 2 if args.strict else 0
+    if args.json:
+        print(json.dumps(result.to_dict(strict=args.strict), indent=2))
+    else:
+        print(result.render(strict=args.strict))
+    return result.exit_code(strict=args.strict)
+
+
+def _run_report(args) -> int:
+    from repro.obs.history import load_history
+    from repro.obs.report import render_markdown, write_report
+
+    history = load_history(args.history)
+    out_dir = args.out or "runs"
+    md_path, html_path = write_report(history, out_dir=out_dir)
+    print(render_markdown(history))
+    _log.info(
+        "trajectory report written",
+        extra={"fields": {"markdown": os.fspath(md_path),
+                          "html": os.fspath(html_path)}},
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -76,14 +152,19 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=["fig2", "fig3", "table1", "fig4", "fig5", "bitlength", "report", "all"],
-        help="which artifact to regenerate ('report' collates archived bench outputs)",
+        choices=["fig2", "fig3", "table1", "fig4", "fig5", "bitlength",
+                 "bench", "compare", "report", "summary", "all"],
+        help="artifact to regenerate, or a trajectory command: 'bench' runs the "
+             "benchmark suite and appends to the run history, 'compare' gates the "
+             "latest entry against a baseline, 'report' renders the trajectory "
+             "(markdown + HTML), 'summary' collates archived bench tables",
     )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
     parser.add_argument("--full", action="store_true",
                         help="paper-scale budgets instead of quick ones")
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--bench", choices=BENCHMARK_NAMES, default=None,
-                        help="restrict table1 to one benchmark")
+                        help="restrict table1/bench to one benchmark")
     parser.add_argument("--log-level", default=None,
                         choices=["debug", "info", "warning", "error"],
                         help="diagnostic verbosity on stderr (default: REPRO_LOG or info)")
@@ -93,6 +174,25 @@ def main(argv=None) -> int:
     parser.add_argument("--run-dir", default=None, metavar="DIR",
                         help="directory for run manifests (default: REPRO_RUN_DIR or "
                              "'runs/'); implies writing a manifest")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="run-history store (default: REPRO_HISTORY or "
+                             "'runs/history.jsonl')")
+    parser.add_argument("--baseline", default=None, metavar="SHA",
+                        help="compare: baseline commit (prefix ok); resolved through "
+                             "history, falling back to benchmarks/baseline.json")
+    parser.add_argument("--baseline-file", default="benchmarks/baseline.json",
+                        metavar="PATH",
+                        help="compare: committed baseline snapshot fallback")
+    parser.add_argument("--strict", action="store_true",
+                        help="compare: also fail on perf regressions and "
+                             "vanished metrics")
+    parser.add_argument("--json", action="store_true",
+                        help="compare: print the machine-readable verdict as JSON")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="bench: also write the entry to benchmarks/baseline.json")
+    parser.add_argument("--out", default=None, metavar="DIR",
+                        help="report: output directory for report.md/report.html "
+                             "(default 'runs/')")
     args = parser.parse_args(argv)
     scale = FULL_SCALE if args.full else QUICK_SCALE
 
@@ -104,6 +204,17 @@ def main(argv=None) -> int:
     )
     if args.trace:
         obs_trace.enable(True)
+
+    if args.experiment == "bench":
+        return _run_bench(args, scale)
+    if args.experiment == "compare":
+        return _run_compare(args)
+    if args.experiment == "report":
+        return _run_report(args)
+    if args.experiment == "summary":
+        print(_summary())
+        return 0
+
     write_manifests = obs_trace.enabled() or args.run_dir is not None
 
     runners = {
@@ -113,10 +224,9 @@ def main(argv=None) -> int:
         "fig4": lambda: run_fig4(scale=scale, seed=args.seed).render(),
         "fig5": lambda: run_fig5(scale=scale, seed=args.seed).render(),
         "bitlength": lambda: run_bitlength(scale=scale, seed=args.seed).render(),
-        "report": _report,
     }
     if args.experiment == "all":
-        names = [n for n in runners if n != "report"]
+        names = list(runners)
     else:
         names = [args.experiment]
     for name in names:
@@ -129,7 +239,7 @@ def main(argv=None) -> int:
         obs_metrics.clear()
         print(runners[name]())
         print()
-        if write_manifests and name != "report":
+        if write_manifests:
             path = runinfo.write_manifest(
                 name,
                 run_dir=args.run_dir,

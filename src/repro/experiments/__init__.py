@@ -1,5 +1,6 @@
 """Experiment harnesses regenerating every table/figure of the paper."""
 
+from repro.experiments.bench import render_bench_entry, run_bench, write_baseline
 from repro.experiments.bitlength import BitLengthPoint, BitLengthResult, run_bitlength
 from repro.experiments.fig2 import Fig2Result, run_fig2
 from repro.experiments.fig3 import Fig3Point, Fig3Result, run_fig3
@@ -31,6 +32,9 @@ __all__ = [
     "format_table",
     "REPORT_ORDER",
     "collect_reports",
+    "run_bench",
+    "write_baseline",
+    "render_bench_entry",
     "BitLengthPoint",
     "BitLengthResult",
     "run_bitlength",

@@ -60,6 +60,18 @@ class Fig4Row:
         """SAAB accuracy gain over single MEI (the paper's +5.76% avg)."""
         return self.accuracy_saab - self.accuracy_mei
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe structured row (archived by the bench harness)."""
+        return {
+            "name": self.name,
+            "k_used": self.k_used,
+            "accuracy_digital": self.accuracy_digital,
+            "accuracy_adda": self.accuracy_adda,
+            "accuracy_mei": self.accuracy_mei,
+            "accuracy_saab": self.accuracy_saab,
+            "saab_improvement": self.saab_improvement,
+        }
+
 
 @dataclass
 class Fig4Result:
@@ -70,6 +82,20 @@ class Fig4Result:
         if not self.rows:
             return 0.0
         return sum(r.saab_improvement for r in self.rows) / len(self.rows)
+
+    def row_dicts(self) -> List[Dict[str, object]]:
+        """Structured rows for JSON archiving."""
+        return [r.as_dict() for r in self.rows]
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat ``fig4.<name>.<column>`` mapping for the run history."""
+        out: Dict[str, float] = {}
+        for row in self.rows:
+            for key, value in row.as_dict().items():
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    out[f"fig4.{row.name}.{key}"] = float(value)
+        out["fig4.average_improvement"] = self.average_improvement
+        return out
 
     def table_rows(self) -> List[List[object]]:
         return [

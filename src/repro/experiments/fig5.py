@@ -20,7 +20,7 @@ architecture because its inputs are discrete 0/1 levels.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.mei import MEI, MEIConfig
 from repro.core.rcs import TraditionalRCS
@@ -55,10 +55,34 @@ class Fig5Curve:
     sigmas: List[float] = field(default_factory=list)
     errors: List[float] = field(default_factory=list)
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe structured curve (archived by the bench harness)."""
+        return {
+            "name": f"{self.benchmark}.{self.system}.{self.noise_type}",
+            "benchmark": self.benchmark,
+            "system": self.system,
+            "noise_type": self.noise_type,
+            "sigmas": list(self.sigmas),
+            "errors": list(self.errors),
+        }
+
 
 @dataclass
 class Fig5Result:
     curves: List[Fig5Curve] = field(default_factory=list)
+
+    def row_dicts(self) -> List[Dict[str, object]]:
+        """Structured curves for JSON archiving."""
+        return [c.as_dict() for c in self.curves]
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat ``fig5.<bench>.<system>.<noise>.s<sigma>`` error map."""
+        out: Dict[str, float] = {}
+        for c in self.curves:
+            for sigma, error in zip(c.sigmas, c.errors):
+                key = f"fig5.{c.benchmark}.{c.system}.{c.noise_type}.s{sigma:g}"
+                out[key] = float(error)
+        return out
 
     def curve(self, benchmark: str, system: str, noise_type: str) -> Fig5Curve:
         for c in self.curves:

@@ -101,10 +101,48 @@ class Table1Row:
     def paper(self):
         return PAPER_TABLE1[self.name]
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe structured row (archived by the bench harness)."""
+        return {
+            "name": self.name,
+            "topology": str(self.topology),
+            "pruned_topology": str(self.pruned_topology),
+            "mse_digital": self.mse_digital,
+            "mse_adda": self.mse_adda,
+            "mse_mei": self.mse_mei,
+            "error_digital": self.error_digital,
+            "error_adda": self.error_adda,
+            "error_mei": self.error_mei,
+            "area_saved_paper_topology": self.area_saved_paper_topology,
+            "power_saved_paper_topology": self.power_saved_paper_topology,
+            "area_saved_measured": self.area_saved_measured,
+            "power_saved_measured": self.power_saved_measured,
+            "robustness_mei": self.robustness_mei,
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat ``table1.<name>.<column>`` mapping for the run history."""
+        return {
+            f"table1.{self.name}.{key}": float(value)
+            for key, value in self.as_dict().items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+
 
 @dataclass
 class Table1Result:
     rows: List[Table1Row] = field(default_factory=list)
+
+    def row_dicts(self) -> List[Dict[str, object]]:
+        """Structured rows for JSON archiving (paper refs included)."""
+        return [r.as_dict() for r in self.rows]
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat accuracy metrics of every row, history-ready."""
+        out: Dict[str, float] = {}
+        for row in self.rows:
+            out.update(row.metrics())
+        return out
 
     def table_rows(self) -> List[List[object]]:
         out: List[List[object]] = []

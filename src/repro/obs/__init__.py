@@ -1,6 +1,6 @@
-"""Observability layer: structured logging, span tracing, metrics, manifests.
+"""Observability layer: logging, tracing, metrics, manifests, history.
 
-The four pillars (see ``docs/observability.md``):
+The pillars (see ``docs/observability.md`` and ``docs/benchmarking.md``):
 
 * :mod:`repro.obs.log` — per-module structured loggers on stderr, with
   an optional JSONL sink (``REPRO_LOG`` / ``REPRO_LOG_JSON``);
@@ -9,12 +9,32 @@ The four pillars (see ``docs/observability.md``):
 * :mod:`repro.obs.metrics` — counters / gauges / histograms for the
   pipeline's quantitative telemetry (always on, coarse call sites);
 * :mod:`repro.obs.runinfo` — run manifests binding git SHA, host, env
-  knobs, seed, span tree and metrics into one archived JSON per run.
+  knobs, seed, span tree and metrics into one archived JSON per run;
+* :mod:`repro.obs.history` — the append-only ``runs/history.jsonl``
+  store of benchmark trajectories, keyed by git SHA + timestamp;
+* :mod:`repro.obs.compare` — the tolerance-aware regression gate
+  (baseline resolution, machine-readable verdicts, CI exit codes);
+* :mod:`repro.obs.report` — markdown/HTML trajectory reports with
+  per-metric sparklines and a slowest-spans summary.
 
 Everything is dependency-free (stdlib only) and safe to import from
 any layer of the package.
 """
 
+from repro.obs.compare import (
+    ComparisonResult,
+    MetricVerdict,
+    Tolerance,
+    compare_history,
+    compare_metrics,
+    resolve_baseline,
+)
+from repro.obs.history import (
+    HISTORY_ENV,
+    append_entry,
+    build_entry,
+    load_history,
+)
 from repro.obs.log import LOG_ENV, LOG_JSON_ENV, configure, get_logger
 from repro.obs.metrics import (
     REGISTRY,
@@ -22,7 +42,9 @@ from repro.obs.metrics import (
     counter,
     gauge,
     histogram,
+    reset,
 )
+from repro.obs.report import render_html, render_markdown, write_report
 from repro.obs.runinfo import (
     RUN_DIR_ENV,
     build_manifest,
@@ -43,6 +65,7 @@ __all__ = [
     "LOG_JSON_ENV",
     "TRACE_ENV",
     "RUN_DIR_ENV",
+    "HISTORY_ENV",
     "configure",
     "get_logger",
     "MetricsRegistry",
@@ -50,6 +73,19 @@ __all__ = [
     "counter",
     "gauge",
     "histogram",
+    "reset",
+    "append_entry",
+    "build_entry",
+    "load_history",
+    "Tolerance",
+    "MetricVerdict",
+    "ComparisonResult",
+    "compare_metrics",
+    "compare_history",
+    "resolve_baseline",
+    "render_markdown",
+    "render_html",
+    "write_report",
     "SpanRecord",
     "span",
     "span_tree",

@@ -32,6 +32,7 @@ __all__ = [
     "merge",
     "diff",
     "clear",
+    "reset",
 ]
 
 
@@ -241,4 +242,15 @@ def merge(snap: Optional[Dict[str, Dict[str, object]]]) -> None:
 
 
 def clear() -> None:
+    REGISTRY.clear()
+
+
+def reset() -> None:
+    """Drop every metric in the process-wide registry.
+
+    The public isolation hook: the test suite's autouse fixture calls
+    this between tests so counters accumulated by one test never leak
+    into another's snapshot, and long-lived services can call it at
+    window boundaries.
+    """
     REGISTRY.clear()

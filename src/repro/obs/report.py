@@ -1,0 +1,292 @@
+"""Trajectory reporting: markdown tables and a self-contained HTML page.
+
+Renders the run history (:mod:`repro.obs.history`) into something a
+human scans in seconds:
+
+* :func:`render_markdown` — accuracy and perf tables with unicode
+  sparklines, first/last values and deltas, plus the top-N slowest
+  span paths of the latest run;
+* :func:`render_html` — one dependency-free HTML file (inline CSS +
+  inline SVG sparklines) suitable for a CI artifact.
+
+Everything is stdlib-only; the HTML embeds no external assets so the
+file stays viewable offline and in artifact browsers.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import pathlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import compare as _compare
+from repro.obs import history as _history
+
+__all__ = [
+    "SPARK_CHARS",
+    "sparkline",
+    "svg_sparkline",
+    "trajectories",
+    "slowest_spans",
+    "render_markdown",
+    "render_html",
+    "write_report",
+]
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode mini-chart of a metric trajectory (empty for <1 point)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo <= 0:
+        return SPARK_CHARS[0] * len(values)
+    scale = (len(SPARK_CHARS) - 1) / (hi - lo)
+    return "".join(SPARK_CHARS[int(round((v - lo) * scale))] for v in values)
+
+
+def svg_sparkline(
+    values: Sequence[float], width: int = 120, height: int = 24
+) -> str:
+    """Inline SVG polyline for the HTML report (self-contained)."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    if len(values) == 1:
+        values = values * 2
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 2.0
+    step = (width - 2 * pad) / (len(values) - 1)
+    points = " ".join(
+        f"{pad + i * step:.1f},{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(values)
+    )
+    last_x = pad + (len(values) - 1) * step
+    last_y = height - pad - (values[-1] - lo) / span * (height - 2 * pad)
+    return (
+        f'<svg class="spark" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+        f'<polyline fill="none" stroke="currentColor" stroke-width="1.5" '
+        f'points="{points}"/>'
+        f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2"/></svg>'
+    )
+
+
+def trajectories(
+    history: Sequence[Dict[str, object]],
+) -> Dict[str, List[Tuple[str, str, float]]]:
+    """Per-metric ``(created, short-sha, value)`` series, history order."""
+    out: Dict[str, List[Tuple[str, str, float]]] = {}
+    for entry in history:
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict):
+            continue
+        created = str(entry.get("created", ""))
+        sha = str(entry.get("git_sha") or "unknown")[:12]
+        for name, value in metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            out.setdefault(name, []).append((created, sha, float(value)))
+    return out
+
+
+def slowest_spans(
+    metrics: Dict[str, float], n: int = 10
+) -> List[Tuple[str, float]]:
+    """Top-N ``span.*`` paths of one entry by total wall seconds."""
+    spans = [
+        (name[len("span."):], float(value))
+        for name, value in metrics.items()
+        if name.startswith("span.")
+    ]
+    spans.sort(key=lambda item: -item[1])
+    return spans[:n]
+
+
+def _latest_metrics(history: Sequence[Dict[str, object]]) -> Dict[str, float]:
+    newest = _history.latest_entry(history)
+    metrics = newest.get("metrics") if newest else None
+    if not isinstance(metrics, dict):
+        return {}
+    return {
+        k: float(v)
+        for k, v in metrics.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def _split_by_kind(
+    series: Dict[str, List[Tuple[str, str, float]]],
+) -> Tuple[List[str], List[str]]:
+    accuracy = sorted(n for n in series if _compare.classify_metric(n) == "accuracy")
+    perf = sorted(n for n in series if _compare.classify_metric(n) == "perf")
+    return accuracy, perf
+
+
+def render_markdown(
+    history: Sequence[Dict[str, object]],
+    title: str = "Benchmark trajectory",
+    top_spans: int = 10,
+) -> str:
+    """Markdown report: accuracy table, perf table, slowest spans."""
+    series = trajectories(history)
+    accuracy, perf = _split_by_kind(series)
+    lines = [f"# {title}", ""]
+    if not series:
+        lines.append("_No history entries yet — run `python -m repro bench`._")
+        return "\n".join(lines) + "\n"
+    entries = [e for e in history if isinstance(e.get("metrics"), dict)]
+    shas = [str(e.get("git_sha") or "unknown")[:12] for e in entries]
+    lines.append(
+        f"{len(entries)} run(s), {len(series)} metric(s), "
+        f"commits {shas[0]} → {shas[-1]}."
+    )
+    lines.append("")
+    for heading, names in (("Accuracy metrics", accuracy), ("Performance metrics", perf)):
+        if not names:
+            continue
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append("| metric | n | first | last | delta | trend |")
+        lines.append("|---|---:|---:|---:|---:|---|")
+        for name in names:
+            points = [v for _, _, v in series[name]]
+            delta = points[-1] - points[0]
+            lines.append(
+                f"| `{name}` | {len(points)} | {points[0]:.6g} | {points[-1]:.6g} "
+                f"| {delta:+.6g} | {sparkline(points)} |"
+            )
+        lines.append("")
+    top = slowest_spans(_latest_metrics(history), n=top_spans)
+    if top:
+        lines.append(f"## Slowest spans (latest run, top {len(top)})")
+        lines.append("")
+        lines.append("| span path | seconds |")
+        lines.append("|---|---:|")
+        for path, seconds in top:
+            lines.append(f"| `{path}` | {seconds:.3f} |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+_HTML_STYLE = """
+body { font: 14px/1.5 -apple-system, 'Segoe UI', sans-serif; margin: 2rem auto;
+       max-width: 70rem; padding: 0 1rem; color: #1a1a2e; }
+h1 { font-size: 1.5rem; } h2 { font-size: 1.15rem; margin-top: 2rem; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 0.3rem 0.6rem; border-bottom: 1px solid #e0e0ea; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+code { background: #f2f2f8; padding: 0.1rem 0.3rem; border-radius: 3px; }
+.spark { color: #3b5bdb; vertical-align: middle; }
+.meta { color: #667; }
+.delta-bad { color: #c0392b; } .delta-good { color: #1e8449; }
+""".strip()
+
+
+def render_html(
+    history: Sequence[Dict[str, object]],
+    title: str = "Benchmark trajectory",
+    top_spans: int = 10,
+) -> str:
+    """Self-contained HTML page mirroring :func:`render_markdown`."""
+    series = trajectories(history)
+    accuracy, perf = _split_by_kind(series)
+    entries = [e for e in history if isinstance(e.get("metrics"), dict)]
+    esc = _html.escape
+
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{esc(title)}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{esc(title)}</h1>",
+    ]
+    if not entries:
+        parts.append(
+            "<p class='meta'>No history entries yet — run "
+            "<code>python -m repro bench</code>.</p></body></html>"
+        )
+        return "\n".join(parts)
+    shas = [str(e.get("git_sha") or "unknown")[:12] for e in entries]
+    parts.append(
+        f"<p class='meta'>{len(entries)} run(s), {len(series)} metric(s), "
+        f"commits <code>{esc(shas[0])}</code> → <code>{esc(shas[-1])}</code>, "
+        f"latest {esc(str(entries[-1].get('created', '')))}.</p>"
+    )
+
+    def _metric_table(names: List[str]) -> None:
+        parts.append(
+            "<table><thead><tr><th>metric</th><th class='num'>n</th>"
+            "<th class='num'>first</th><th class='num'>last</th>"
+            "<th class='num'>delta</th><th>trend</th></tr></thead><tbody>"
+        )
+        for name in names:
+            points = [v for _, _, v in series[name]]
+            delta = points[-1] - points[0]
+            worse = (delta > 0) != _compare.higher_is_better(name) and delta != 0
+            cls = "delta-bad" if worse else "delta-good"
+            parts.append(
+                f"<tr><td><code>{esc(name)}</code></td>"
+                f"<td class='num'>{len(points)}</td>"
+                f"<td class='num'>{points[0]:.6g}</td>"
+                f"<td class='num'>{points[-1]:.6g}</td>"
+                f"<td class='num {cls}'>{delta:+.6g}</td>"
+                f"<td>{svg_sparkline(points)}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+
+    for heading, names in (("Accuracy metrics", accuracy), ("Performance metrics", perf)):
+        if names:
+            parts.append(f"<h2>{esc(heading)}</h2>")
+            _metric_table(names)
+
+    top = slowest_spans(_latest_metrics(history), n=top_spans)
+    if top:
+        parts.append(f"<h2>Slowest spans (latest run, top {len(top)})</h2>")
+        parts.append(
+            "<table><thead><tr><th>span path</th>"
+            "<th class='num'>seconds</th></tr></thead><tbody>"
+        )
+        for path, seconds in top:
+            parts.append(
+                f"<tr><td><code>{esc(path)}</code></td>"
+                f"<td class='num'>{seconds:.3f}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_report(
+    history: Sequence[Dict[str, object]],
+    out_dir: "str | pathlib.Path" = "runs",
+    stem: str = "report",
+    title: str = "Benchmark trajectory",
+    top_spans: int = 10,
+) -> Tuple[pathlib.Path, pathlib.Path]:
+    """Write ``<out_dir>/<stem>.md`` and ``.html``; return both paths."""
+    directory = pathlib.Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    md_path = directory / f"{stem}.md"
+    html_path = directory / f"{stem}.html"
+    md_path.write_text(
+        render_markdown(history, title=title, top_spans=top_spans), encoding="utf-8"
+    )
+    html_path.write_text(
+        render_html(history, title=title, top_spans=top_spans), encoding="utf-8"
+    )
+    return md_path, html_path
+
+
+def load_and_write(
+    history_path: "Optional[str | pathlib.Path]" = None,
+    out_dir: "str | pathlib.Path" = "runs",
+    **kwargs: object,
+) -> Tuple[pathlib.Path, pathlib.Path]:
+    """Convenience: load the history store and write both report files."""
+    return write_report(_history.load_history(history_path), out_dir=out_dir, **kwargs)

@@ -63,6 +63,16 @@ def repro_env() -> Dict[str, str]:
     return {k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")}
 
 
+def _package_version() -> Optional[str]:
+    """``repro.__version__`` (lazy import: obs must not cycle into repro)."""
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - package metadata always present
+        return None
+
+
 def environment_info() -> Dict[str, object]:
     """Host / toolchain / knob provenance."""
     try:
@@ -73,6 +83,7 @@ def environment_info() -> Dict[str, object]:
         numpy_version = None
     return {
         "git_sha": git_sha(),
+        "version": _package_version(),
         "hostname": socket.gethostname(),
         "platform": platform.platform(),
         "python": platform.python_version(),

@@ -4,6 +4,20 @@ import numpy as np
 import pytest
 
 from repro.nn.trainer import TrainConfig
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def _isolate_metrics_registry():
+    """Keep the process-wide metrics registry from leaking across tests.
+
+    Counters/histograms accumulate globally (by design); without this
+    reset a test asserting on ``snapshot()`` would see whatever the
+    previously-run tests happened to count.
+    """
+    obs_metrics.reset()
+    yield
+    obs_metrics.reset()
 
 
 @pytest.fixture

@@ -41,8 +41,10 @@ class TestCollectReports:
         assert not missing, f"REPORT_ORDER missing: {missing}"
 
 
-class TestCLIReport:
-    def test_report_subcommand(self, capsys):
-        assert main(["report"]) == 0
+class TestCLISummary:
+    def test_summary_subcommand(self, capsys):
+        # 'report' now renders the benchmark trajectory (see
+        # test_obs_history); the archived-table collation moved here.
+        assert main(["summary"]) == 0
         out = capsys.readouterr().out
         assert "Reproduction report" in out

@@ -115,6 +115,66 @@ class TestSpans:
         assert parsed["pid"] > 0
 
 
+class TestRenderTree:
+    """Output formatting of ``render_tree`` (sibling merge, totals)."""
+
+    def _record(self, path, duration, seq):
+        return obs_trace.SpanRecord(
+            name=path.rsplit("/", 1)[-1],
+            path=path,
+            start=float(seq),
+            duration=duration,
+            seq=seq,
+        )
+
+    def test_empty_tree_renders_empty_string(self):
+        assert obs_trace.render_tree(obs_trace.span_tree([])) == ""
+
+    def test_sibling_merge_accumulates_count_and_seconds(self):
+        records = [
+            self._record("bench", 0.5, 0),
+            self._record("bench/round", 1.0, 1),
+            self._record("bench/round", 2.0, 2),
+            self._record("bench/round", 3.0, 3),
+        ]
+        tree = obs_trace.span_tree(records)
+        bench = tree["children"][0]
+        merged = bench["children"][0]
+        assert merged["count"] == 3
+        assert merged["total_seconds"] == pytest.approx(6.0)
+        rendered = obs_trace.render_tree(tree)
+        lines = rendered.splitlines()
+        assert lines[0] == "bench  0.500s"
+        assert lines[1] == "  round x3  6.000s"
+
+    def test_singletons_omit_count_suffix(self):
+        records = [self._record("solo", 0.25, 0)]
+        rendered = obs_trace.render_tree(obs_trace.span_tree(records))
+        assert rendered == "solo  0.250s"
+        assert "x1" not in rendered
+
+    def test_nesting_indents_by_depth(self):
+        records = [
+            self._record("a", 0.1, 0),
+            self._record("a/b", 0.1, 1),
+            self._record("a/b/c", 0.1, 2),
+        ]
+        rendered = obs_trace.render_tree(obs_trace.span_tree(records))
+        lines = rendered.splitlines()
+        assert lines[0].startswith("a")
+        assert lines[1].startswith("  b")
+        assert lines[2].startswith("    c")
+
+    def test_custom_indent_string(self):
+        records = [self._record("a", 0.1, 0), self._record("a/b", 0.2, 1)]
+        rendered = obs_trace.render_tree(obs_trace.span_tree(records), indent="....")
+        assert "....b  0.200s" in rendered
+
+    def test_seconds_rounded_to_three_decimals(self):
+        records = [self._record("x", 1.23456789, 0)]
+        assert obs_trace.render_tree(obs_trace.span_tree(records)) == "x  1.235s"
+
+
 class TestLogging:
     def test_get_logger_names_under_repro(self):
         assert obs_log.get_logger("nn.trainer").name == "repro.nn.trainer"
