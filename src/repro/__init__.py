@@ -48,6 +48,8 @@ from repro.parallel import (
     ThreadExecutor,
     derive_seed,
     derive_seeds,
+    ensure_rng,
+    fresh_rng,
     get_executor,
     parallel_map,
     resolve_workers,
@@ -101,6 +103,8 @@ __all__ = [
     "resolve_workers",
     "derive_seed",
     "derive_seeds",
+    "ensure_rng",
+    "fresh_rng",
     "FixedPointCodec",
     "Crossbar",
     "DifferentialCrossbar",

@@ -14,6 +14,7 @@ Usage::
     python -m repro compare [--baseline SHA] [--strict]   # regression gate
     python -m repro report                # trajectory report (md + HTML)
     python -m repro summary               # collate archived bench tables
+    python -m repro lint [--json]         # repro-lint invariant checker
     python -m repro --version
 
 Add ``--full`` for the paper-scale budgets (10k train samples, 400
@@ -145,6 +146,25 @@ def _run_report(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    from repro.lintrules import engine
+    from repro.lintrules.rules import rule_catalogue
+
+    if args.list_rules:
+        print(rule_catalogue())
+        return 0
+    targets = args.paths if args.paths else [engine.default_target()]
+    files = list(engine.iter_python_files(targets))
+    findings = []
+    for path in files:
+        findings.extend(engine.check_source(path.read_text(encoding="utf-8"), path))
+    if args.json:
+        print(engine.render_json(findings, checked=len(files)))
+    else:
+        print(engine.render_human(findings, checked=len(files)))
+    return 1 if findings else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -153,11 +173,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=["fig2", "fig3", "table1", "fig4", "fig5", "bitlength",
-                 "bench", "compare", "report", "summary", "all"],
+                 "bench", "compare", "report", "summary", "lint", "all"],
         help="artifact to regenerate, or a trajectory command: 'bench' runs the "
              "benchmark suite and appends to the run history, 'compare' gates the "
              "latest entry against a baseline, 'report' renders the trajectory "
-             "(markdown + HTML), 'summary' collates archived bench tables",
+             "(markdown + HTML), 'summary' collates archived bench tables, "
+             "'lint' runs the repro-lint invariant checker over the package",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     parser.add_argument("--full", action="store_true",
@@ -187,7 +208,12 @@ def main(argv=None) -> int:
                         help="compare: also fail on perf regressions and "
                              "vanished metrics")
     parser.add_argument("--json", action="store_true",
-                        help="compare: print the machine-readable verdict as JSON")
+                        help="compare/lint: print the machine-readable report as JSON")
+    parser.add_argument("--paths", nargs="*", default=None, metavar="PATH",
+                        help="lint: files/directories to check (default: the "
+                             "installed repro package source)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="lint: print the RPR rule catalogue and exit")
     parser.add_argument("--write-baseline", action="store_true",
                         help="bench: also write the entry to benchmarks/baseline.json")
     parser.add_argument("--out", default=None, metavar="DIR",
@@ -214,6 +240,8 @@ def main(argv=None) -> int:
     if args.experiment == "summary":
         print(_summary())
         return 0
+    if args.experiment == "lint":
+        return _run_lint(args)
 
     write_manifests = obs_trace.enabled() or args.run_dir is not None
 
@@ -225,10 +253,7 @@ def main(argv=None) -> int:
         "fig5": lambda: run_fig5(scale=scale, seed=args.seed).render(),
         "bitlength": lambda: run_bitlength(scale=scale, seed=args.seed).render(),
     }
-    if args.experiment == "all":
-        names = list(runners)
-    else:
-        names = [args.experiment]
+    names = list(runners) if args.experiment == "all" else [args.experiment]
     for name in names:
         _log.info(
             "running experiment",
@@ -257,4 +282,11 @@ def main(argv=None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # `python -m repro ... | head` closes stdout early; swallow the
+        # resulting write failure instead of dumping a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(1)

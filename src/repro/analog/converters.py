@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.parallel.seeding import ensure_rng
 from repro.quant.fixedpoint import quantize_unit
 
 __all__ = ["DAC", "ADC"]
@@ -50,8 +51,7 @@ class DAC:
         """Digital codes (as unit-interval values) -> analog voltages."""
         analog = quantize_unit(digital, self.bits)
         if self.noise_lsb > 0:
-            if rng is None:
-                rng = np.random.default_rng()
+            rng = ensure_rng(rng, "analog.DAC")
             analog = analog + rng.normal(0.0, self.noise_lsb * 2.0**-self.bits, analog.shape)
         return np.clip(analog, 0.0, 1.0 - 2.0**-self.bits)
 
@@ -81,7 +81,6 @@ class ADC:
         """Analog voltages -> quantized unit-interval digital values."""
         analog = np.asarray(analog, dtype=float)
         if self.noise_lsb > 0:
-            if rng is None:
-                rng = np.random.default_rng()
+            rng = ensure_rng(rng, "analog.ADC")
             analog = analog + rng.normal(0.0, self.noise_lsb * 2.0**-self.bits, analog.shape)
         return quantize_unit(analog, self.bits)

@@ -18,6 +18,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.parallel.seeding import ensure_rng
+
 __all__ = ["SigmoidNeuron", "Comparator"]
 
 
@@ -49,7 +51,7 @@ class SigmoidNeuron:
         if self.offset_sigma < 0:
             raise ValueError("offset_sigma must be >= 0")
         if self.offset_sigma > 0:
-            rng = self.rng if self.rng is not None else np.random.default_rng()
+            rng = ensure_rng(self.rng, "analog.SigmoidNeuron")
             self._offsets = rng.normal(0.0, self.offset_sigma, self.bias.shape)
         else:
             self._offsets = np.zeros_like(self.bias)
@@ -89,7 +91,6 @@ class Comparator:
         analog_in = np.asarray(analog_in, dtype=float)
         threshold = self.threshold
         if self.offset_sigma > 0:
-            if rng is None:
-                rng = np.random.default_rng()
+            rng = ensure_rng(rng, "analog.Comparator")
             threshold = threshold + rng.normal(0.0, self.offset_sigma, analog_in.shape)
         return (analog_in >= threshold).astype(float)

@@ -1,0 +1,41 @@
+"""Central configuration: the ``REPRO_*`` environment-knob registry.
+
+Every environment variable the pipeline reads is declared once in
+:mod:`repro.config.knobs` — name, type, default and documentation —
+and read through its typed accessors.  ``repro-lint`` rule RPR003
+enforces that no other module touches ``os.environ`` directly, so the
+registry (and the knob table it renders into the docs) is guaranteed
+to be complete.
+"""
+
+from repro.config.knobs import (
+    TRUTHY,
+    Knob,
+    UnknownKnobError,
+    all_knobs,
+    docs_table,
+    get_bool,
+    get_int,
+    get_path,
+    get_raw,
+    get_str,
+    knob,
+    snapshot,
+    unregistered,
+)
+
+__all__ = [
+    "TRUTHY",
+    "Knob",
+    "UnknownKnobError",
+    "all_knobs",
+    "docs_table",
+    "get_bool",
+    "get_int",
+    "get_path",
+    "get_raw",
+    "get_str",
+    "knob",
+    "snapshot",
+    "unregistered",
+]

@@ -128,12 +128,11 @@ class AnalogMLP:
         from repro.device.programming import program_conductances
 
         for offset, array in enumerate(cls._arrays_of(xbar)):
-            if config.seed is None:
-                array_config = config
-            else:
-                array_config = dataclasses.replace(
-                    config, seed=config.seed + 1000 * index + offset
-                )
+            array_config = (
+                config
+                if config.seed is None
+                else dataclasses.replace(config, seed=config.seed + 1000 * index + offset)
+            )
             result = program_conductances(array.conductances, array.device, array_config)
             array.conductances = result.conductances
 
@@ -175,13 +174,10 @@ class AnalogMLP:
         # device-level disturbance is covered by PV.
         if rng is not None and noise.sigma_sf > 0:
             fluctuated = noise.perturb_signal(out, rng)
-            if self.digital_input:
-                # Digital receivers regenerate 0/1 levels: only noise
-                # that crosses the logic threshold survives — MEI's
-                # Fig. 5 advantage.
-                out = (fluctuated >= 0.5).astype(float)
-            else:
-                out = fluctuated
+            # Digital receivers regenerate 0/1 levels: only noise that
+            # crosses the logic threshold survives — MEI's Fig. 5
+            # advantage.
+            out = (fluctuated >= 0.5).astype(float) if self.digital_input else fluctuated
         pv_only = None
         if rng is not None and noise.sigma_pv > 0:
             pv_only = NonIdealFactors(sigma_pv=noise.sigma_pv, sigma_sf=0.0, seed=noise.seed)
@@ -234,10 +230,7 @@ class AnalogMLP:
         rngs = [noise.rng(t) for t in indices]
         if noise.sigma_sf > 0:
             fluctuated = base * lognormal_factor_stack(base.shape, noise.sigma_sf, rngs)
-            if self.digital_input:
-                out = (fluctuated >= 0.5).astype(float)
-            else:
-                out = fluctuated
+            out = (fluctuated >= 0.5).astype(float) if self.digital_input else fluctuated
         else:
             out = np.broadcast_to(base, (len(rngs),) + base.shape)
         pv_only = None

@@ -361,10 +361,11 @@ def explore(
             )
             # Prefer the wider network on (near) ties: it saves
             # 2(K-1)O' devices and (K-1)O' peripheral units.
-            if (wide_error, -wide_rob) <= (ens_error * 1.05, -ens_rob * 0.95):
-                system, error, robustness, used_saab = wide, wide_error, wide_rob, False
-            else:
-                system, error, robustness, used_saab = saab, ens_error, ens_rob, True
+            system, error, robustness, used_saab = (
+                (wide, wide_error, wide_rob, False)
+                if (wide_error, -wide_rob) <= (ens_error * 1.05, -ens_rob * 0.95)
+                else (saab, ens_error, ens_rob, True)
+            )
 
     # Line 22: prune interface LSBs on a single-MEI result.
     if config.prune and isinstance(system, MEI):

@@ -199,7 +199,7 @@ class SAAB:
                 error = float(np.clip(error, 1e-10, 1.0 - 1e-10))
                 alpha = 0.5 * np.log((1.0 - error) / error)  # Line 7
 
-                if error < 0.5:
+                if error < 0.5:  # noqa: SIM108 -- branch comments are load-bearing
                     # Line 8: up-weight misclassified samples.
                     self._weights = self._weights * np.where(
                         correct, np.exp(-alpha), np.exp(alpha)
@@ -293,12 +293,13 @@ class SAAB:
                 continue
             learner_trials = [t * n_learners + k for t in indices]
             batched = getattr(learner, "predict_bits_trials", None)
-            if batched is not None:
-                bits = batched(x, noise, trials=learner_trials)
-            else:
-                bits = np.stack(
+            bits = (
+                batched(x, noise, trials=learner_trials)
+                if batched is not None
+                else np.stack(
                     [learner.predict_bits(x, noise, trial=t) for t in learner_trials]
                 )
+            )
             votes = weight * bits if votes is None else votes + weight * bits
         return (votes >= 0.5 * total).astype(float)
 

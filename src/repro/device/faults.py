@@ -84,10 +84,11 @@ def inject_faults_analog(analog, model: FaultModel) -> int:
     index = 0
     for xbar in analog.crossbars:
         for array in type(analog)._arrays_of(xbar):
-            if model.seed is None:
-                array_model = model
-            else:
-                array_model = dataclasses.replace(model, seed=model.seed + index)
+            array_model = (
+                model
+                if model.seed is None
+                else dataclasses.replace(model, seed=model.seed + index)
+            )
             defects = inject_faults(array, array_model)
             total += int(np.count_nonzero(defects))
             index += 1

@@ -23,6 +23,8 @@ from typing import List, Sequence, Union
 
 import numpy as np
 
+from repro.parallel.seeding import ensure_rng, fresh_rng
+
 __all__ = [
     "NonIdealFactors",
     "lognormal_factors",
@@ -61,10 +63,9 @@ def lognormal_factors(
     """
     if sigma < 0:
         raise ValueError(f"sigma must be >= 0, got {sigma}")
-    if not isinstance(rng, np.random.Generator):
-        rng = np.random.default_rng(rng)
     if sigma == 0:
         return np.ones(shape)
+    rng = ensure_rng(rng, "device.lognormal_factors")
     return rng.lognormal(mean=0.0, sigma=sigma, size=shape)
 
 
@@ -120,7 +121,7 @@ class NonIdealFactors:
     def rng(self, trial: int = 0) -> np.random.Generator:
         """Generator for one Monte-Carlo trial."""
         if self.seed is None:
-            return np.random.default_rng()
+            return fresh_rng("device.NonIdealFactors")
         return np.random.default_rng(self.seed + trial)
 
     def rngs(self, trials: TrialSpec) -> "List[np.random.Generator]":

@@ -110,7 +110,8 @@ class Fig4Result:
             ["name", "K", "Digital", "AD/DA", "MEI", "MEI+SAAB", "SAAB gain"],
             self.table_rows(),
         )
-        return body and header + body + f"\naverage SAAB improvement: {self.average_improvement:.4f}"
+        average = f"average SAAB improvement: {self.average_improvement:.4f}"
+        return body and header + body + "\n" + average
 
 
 def _fig4_row(args) -> Fig4Row:

@@ -13,10 +13,10 @@ and supports two scales:
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.config import knobs
 from repro.nn.trainer import TrainConfig
 from repro.parallel import get_executor
 
@@ -60,12 +60,14 @@ class ExperimentScale:
 
 
 QUICK_SCALE = ExperimentScale(name="quick", n_train=2500, n_test=400, epochs=300, noise_trials=5)
-FULL_SCALE = ExperimentScale(name="full", n_train=10_000, n_test=1_000, epochs=400, noise_trials=100)
+FULL_SCALE = ExperimentScale(
+    name="full", n_train=10_000, n_test=1_000, epochs=400, noise_trials=100
+)
 
 
 def default_scale() -> ExperimentScale:
-    """FULL_SCALE when ``REPRO_FULL=1`` is set, QUICK_SCALE otherwise."""
-    return FULL_SCALE if os.environ.get("REPRO_FULL", "") == "1" else QUICK_SCALE
+    """FULL_SCALE when ``REPRO_FULL`` is truthy, QUICK_SCALE otherwise."""
+    return FULL_SCALE if knobs.get_bool("REPRO_FULL") else QUICK_SCALE
 
 
 def train_config(

@@ -1,0 +1,49 @@
+"""repro-lint: AST-based enforcement of the repository's invariants.
+
+The reproducibility story of this repo (serial/parallel equivalence,
+replayable Monte-Carlo noise, provenance-complete run manifests) rests
+on conventions that ordinary linters cannot see.  This package encodes
+them as named, machine-checked rules:
+
+========  ==========================================================
+RPR001    no unseeded ``np.random.default_rng()`` / ``Generator()``
+          in library code — thread an rng or use ``fresh_rng()``
+RPR002    no legacy global RNG state (``np.random.seed`` /
+          ``np.random.rand`` / stdlib ``random``)
+RPR003    every environment read goes through the
+          ``repro.config.knobs`` registry, not ``os.environ``
+RPR004    no ``print()`` / ``sys.stdout`` in library modules —
+          stdout is reserved for result tables, diagnostics go to
+          ``repro.obs.log``
+RPR005    no hand-rolled ``isinstance(rng, Generator)``
+          normalization — use ``seeding.ensure_rng()``
+========  ==========================================================
+
+Run with ``python -m repro lint [--json]``; suppress one finding with
+an end-of-line ``# repro-lint: disable=RPRnnn`` comment.  See
+``docs/static-analysis.md`` for the full catalogue and rationale.
+"""
+
+from repro.lintrules.engine import (
+    Finding,
+    check_source,
+    iter_python_files,
+    render_human,
+    render_json,
+    run_paths,
+    suppressed_lines,
+)
+from repro.lintrules.rules import ALL_RULES, Rule, rule_catalogue
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "Rule",
+    "check_source",
+    "iter_python_files",
+    "render_human",
+    "render_json",
+    "rule_catalogue",
+    "run_paths",
+    "suppressed_lines",
+]

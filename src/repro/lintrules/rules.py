@@ -1,0 +1,313 @@
+"""The RPR rule implementations: small AST visitors over one module.
+
+Each rule is a :class:`Rule` with a stable code, a one-line summary
+(rendered in ``--list-rules`` and the docs) and a ``check`` hook that
+yields :class:`~repro.lintrules.engine.Finding`-shaped tuples.  Name
+resolution goes through :class:`ImportMap`, which rewrites local
+aliases (``import numpy as np``, ``from numpy.random import
+default_rng as rng_factory``) into fully qualified dotted names, so
+the rules are robust to import spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["ALL_RULES", "ImportMap", "RawFinding", "Rule", "rule_catalogue"]
+
+RawFinding = Tuple[int, int, str]
+"""(line, column, message) produced by a rule before engine wrapping."""
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named invariant.
+
+    ``check(tree, import_map, is_library)`` yields raw findings; the
+    engine attaches path/rule metadata and applies suppressions.
+    """
+
+    code: str
+    summary: str
+    rationale: str
+    check: Callable[[ast.AST, "ImportMap", bool], Iterator[RawFinding]]
+
+
+class ImportMap:
+    """Resolves local names to fully qualified dotted module paths."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self._aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+
+    def qualify(self, node: ast.AST) -> Optional[str]:
+        """Dotted qualified name of a Name/Attribute chain, or None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._aliases.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def _canonical(qualified: Optional[str]) -> Optional[str]:
+    """Collapse the ``np``/``numpy`` split: report numpy paths uniformly."""
+    if qualified is None:
+        return None
+    if qualified == "np" or qualified.startswith("np."):
+        return "numpy" + qualified[2:]
+    return qualified
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — unseeded generator construction
+# ---------------------------------------------------------------------------
+
+def _check_rpr001(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterator[RawFinding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _canonical(imports.qualify(node.func))
+        if name == "numpy.random.default_rng" and not node.args and not node.keywords:
+            yield (
+                node.lineno,
+                node.col_offset,
+                "unseeded np.random.default_rng() breaks replayability; thread an "
+                "explicit rng/seed or use repro.parallel.seeding.fresh_rng(), which "
+                "logs the seed it draws",
+            )
+        elif name == "numpy.random.Generator":
+            yield (
+                node.lineno,
+                node.col_offset,
+                "direct np.random.Generator() construction bypasses the seeding "
+                "discipline; build generators with default_rng(seed), ensure_rng() "
+                "or fresh_rng()",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — legacy global RNG state
+# ---------------------------------------------------------------------------
+
+_MODERN_NUMPY_RANDOM = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _check_rpr002(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterator[RawFinding]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            module = getattr(node, "module", None)
+            for alias in node.names:
+                target = alias.name if isinstance(node, ast.Import) else f"{module}.{alias.name}"
+                if target == "random" or target.startswith("random."):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "stdlib `random` carries hidden global state; use a threaded "
+                        "numpy Generator instead",
+                    )
+                elif (
+                    isinstance(node, ast.ImportFrom)
+                    and module in ("numpy.random", "np.random")
+                    and alias.name not in _MODERN_NUMPY_RANDOM
+                ):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"legacy numpy.random.{alias.name} mutates global RNG state; "
+                        "use Generator methods on a threaded rng",
+                    )
+        elif isinstance(node, ast.Attribute):
+            name = _canonical(imports.qualify(node))
+            if (
+                name is not None
+                and name.startswith("numpy.random.")
+                and name.count(".") == 2
+                and name.rsplit(".", 1)[1] not in _MODERN_NUMPY_RANDOM
+            ):
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"legacy global-state API {name} is forbidden; draw from a "
+                    "threaded np.random.Generator",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPR003 — environment access outside the knob registry
+# ---------------------------------------------------------------------------
+
+def _check_rpr003(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterator[RawFinding]:
+    message = (
+        "read configuration through the repro.config.knobs registry, not "
+        "os.environ/os.getenv — undeclared knobs must fail loudly and appear "
+        "in the docs table"
+    )
+    reported = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            name = _canonical(imports.qualify(node))
+            if name in ("os.environ", "os.getenv", "os.putenv", "os.environb"):
+                key = (node.lineno, node.col_offset)
+                if key not in reported:
+                    reported.add(key)
+                    yield (node.lineno, node.col_offset, message)
+
+
+# ---------------------------------------------------------------------------
+# RPR004 — stdout writes in library modules
+# ---------------------------------------------------------------------------
+
+def _check_rpr004(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterator[RawFinding]:
+    if not is_library:
+        return
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            # print(..., file=sys.stderr) is a legitimate diagnostic
+            # escape hatch; only bare/stdout prints are findings.
+            stream = next((kw.value for kw in node.keywords if kw.arg == "file"), None)
+            stream_name = _canonical(imports.qualify(stream)) if stream is not None else None
+            if stream is None or stream_name == "sys.stdout":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "print() in library code corrupts the stdout table contract; "
+                    "emit diagnostics via repro.obs.log (stdout belongs to __main__)",
+                )
+        elif isinstance(node, ast.Attribute):
+            name = _canonical(imports.qualify(node))
+            if name == "sys.stdout":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "sys.stdout is reserved for result tables printed by __main__; "
+                    "route library output through repro.obs.log or return strings",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RPR005 — hand-rolled rng normalization
+# ---------------------------------------------------------------------------
+
+def _is_generator_isinstance(call: ast.AST, imports: ImportMap) -> bool:
+    return (
+        isinstance(call, ast.Call)
+        and isinstance(call.func, ast.Name)
+        and call.func.id == "isinstance"
+        and len(call.args) == 2
+        and _canonical(imports.qualify(call.args[1])) == "numpy.random.Generator"
+    )
+
+
+def _check_rpr005(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterator[RawFinding]:
+    message = (
+        "hand-rolled rng normalization duplicates repro.parallel.seeding."
+        "ensure_rng(); call the shared helper so None-handling stays logged "
+        "and consistent"
+    )
+    for node in ast.walk(tree):
+        # if not isinstance(x, np.random.Generator): x = default_rng(x)
+        if isinstance(node, ast.If):
+            test = node.test
+            if (
+                isinstance(test, ast.UnaryOp)
+                and isinstance(test.op, ast.Not)
+                and _is_generator_isinstance(test.operand, imports)
+            ):
+                yield (node.lineno, node.col_offset, message)
+        # x = y if isinstance(y, np.random.Generator) else default_rng(y)
+        elif isinstance(node, ast.IfExp) and _is_generator_isinstance(node.test, imports):
+            yield (node.lineno, node.col_offset, message)
+
+
+ALL_RULES: Tuple[Rule, ...] = (
+    Rule(
+        code="RPR001",
+        summary="no unseeded np.random.default_rng()/Generator() in library code",
+        rationale=(
+            "Every accuracy number rests on Monte-Carlo draws; an unseeded "
+            "generator makes the run unreplayable and silently voids the "
+            "serial/parallel equivalence guarantee."
+        ),
+        check=_check_rpr001,
+    ),
+    Rule(
+        code="RPR002",
+        summary="no legacy global RNG state (np.random.* module functions, stdlib random)",
+        rationale=(
+            "Global RNG state is shared across threads and call sites, so one "
+            "stray draw reorders every stream after it."
+        ),
+        check=_check_rpr002,
+    ),
+    Rule(
+        code="RPR003",
+        summary="environment knobs are read via repro.config.knobs, never os.environ",
+        rationale=(
+            "A central registry keeps the knob set discoverable, typed, "
+            "documented, and snapshot-complete in run manifests."
+        ),
+        check=_check_rpr003,
+    ),
+    Rule(
+        code="RPR004",
+        summary="no print()/sys.stdout in library modules",
+        rationale=(
+            "stdout is the machine-readable artifact channel (tables); "
+            "diagnostics belong on stderr via repro.obs.log."
+        ),
+        check=_check_rpr004,
+    ),
+    Rule(
+        code="RPR005",
+        summary=(
+            "rng arguments are normalized with seeding.ensure_rng(), "
+            "not ad-hoc isinstance blocks"
+        ),
+        rationale=(
+            "Copy-pasted normalization blocks drift (some logged, some not); "
+            "one helper keeps None-handling replayable everywhere."
+        ),
+        check=_check_rpr005,
+    ),
+)
+
+
+def rule_catalogue() -> str:
+    """Human-readable rule listing for ``--list-rules``."""
+    lines = []
+    for rule in ALL_RULES:
+        lines.append(f"{rule.code}  {rule.summary}")
+        lines.append(f"        {rule.rationale}")
+    return "\n".join(lines)

@@ -14,6 +14,8 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.parallel.seeding import ensure_rng
+
 __all__ = ["train_test_split", "UnitScaler", "resample", "minibatches"]
 
 
@@ -30,8 +32,7 @@ def train_test_split(
         raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
     if not 0 < test_fraction < 1:
         raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
-    if not isinstance(rng, np.random.Generator):
-        rng = np.random.default_rng(rng)
+    rng = ensure_rng(rng, "nn.train_test_split")
     order = rng.permutation(len(x))
     n_test = max(1, int(round(len(x) * test_fraction)))
     test_idx, train_idx = order[:n_test], order[n_test:]
@@ -110,8 +111,7 @@ def resample(
     p = p / total
     if size is None:
         size = len(x)
-    if not isinstance(rng, np.random.Generator):
-        rng = np.random.default_rng(rng)
+    rng = ensure_rng(rng, "nn.resample")
     idx = rng.choice(len(x), size=size, replace=True, p=p)
     return x[idx], y[idx]
 
@@ -130,8 +130,7 @@ def minibatches(
         raise ValueError(f"x and y lengths differ: {len(x)} vs {len(y)}")
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
-    if not isinstance(rng, np.random.Generator):
-        rng = np.random.default_rng(rng)
+    rng = ensure_rng(rng, "nn.minibatches")
     order = rng.permutation(len(x))
     for start in range(0, len(x), batch_size):
         idx = order[start : start + batch_size]

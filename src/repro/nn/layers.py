@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.nn.activations import Activation, get_activation
 from repro.nn.initializers import xavier_uniform
+from repro.parallel.seeding import ensure_rng
 
 __all__ = ["DenseLayer"]
 
@@ -50,8 +51,7 @@ class DenseLayer:
         self.in_dim = in_dim
         self.out_dim = out_dim
         self.activation = activation
-        if rng is None:
-            rng = np.random.default_rng()
+        rng = ensure_rng(rng, "nn.DenseLayer")
         self.weights = weight_init(rng, in_dim, out_dim)
         self.bias = np.zeros(out_dim)
         # Backprop caches, populated by forward(train=True).

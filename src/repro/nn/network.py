@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.nn.layers import DenseLayer
+from repro.parallel.seeding import ensure_rng
 
 __all__ = ["MLP"]
 
@@ -42,8 +43,7 @@ class MLP:
             raise ValueError("need at least input and output layers")
         if any(s < 1 for s in layer_sizes):
             raise ValueError(f"layer sizes must be >= 1: {layer_sizes}")
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
+        rng = ensure_rng(rng, "nn.MLP")
         self.layer_sizes = tuple(int(s) for s in layer_sizes)
         self.layers: List[DenseLayer] = []
         for i in range(len(layer_sizes) - 1):

@@ -25,10 +25,10 @@ Everything here is stdlib-only and import-safe from any layer.
 from __future__ import annotations
 
 import json
-import os
 import pathlib
 from typing import Dict, List, Optional, Sequence
 
+from repro.config import knobs
 from repro.obs import trace as _trace
 from repro.obs.runinfo import provenance_header
 
@@ -57,7 +57,7 @@ DEFAULT_HISTORY_PATH = "runs/history.jsonl"
 def history_path(path: "Optional[str | pathlib.Path]" = None) -> pathlib.Path:
     """Resolve the history store: explicit > ``REPRO_HISTORY`` > default."""
     if path is None:
-        path = os.environ.get(HISTORY_ENV) or DEFAULT_HISTORY_PATH
+        path = knobs.get_path(HISTORY_ENV) or DEFAULT_HISTORY_PATH
     return pathlib.Path(path)
 
 

@@ -30,9 +30,10 @@ from __future__ import annotations
 
 import json
 import logging
-import os
 import sys
 from typing import IO, Optional
+
+from repro.config import knobs
 
 __all__ = [
     "LOG_ENV",
@@ -65,7 +66,7 @@ _configured = False
 
 def level_from_env(default: int = logging.WARNING) -> int:
     """Resolve the level named by ``REPRO_LOG`` (default WARNING)."""
-    raw = os.environ.get(LOG_ENV, "").strip().lower()
+    raw = (knobs.get_raw(LOG_ENV) or "").strip().lower()
     if not raw:
         return default
     if raw in _LEVELS:
@@ -158,7 +159,7 @@ def configure(
         _HumanFormatter("%(asctime)s %(levelname)-7s %(name)s | %(message)s", "%H:%M:%S")
     )
     root.addHandler(human)
-    json_path = json_path if json_path is not None else os.environ.get(LOG_JSON_ENV)
+    json_path = json_path if json_path is not None else knobs.get_path(LOG_JSON_ENV)
     if json_path:
         sink = logging.FileHandler(json_path, encoding="utf-8")
         sink.setFormatter(JsonlFormatter())

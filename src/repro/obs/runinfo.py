@@ -23,6 +23,7 @@ import time
 from dataclasses import asdict, is_dataclass
 from typing import Dict, Optional, Sequence
 
+from repro.config import knobs
 from repro.obs import metrics as _metrics
 from repro.obs import trace as _trace
 
@@ -60,7 +61,7 @@ def git_sha(cwd: Optional[str] = None) -> Optional[str]:
 
 def repro_env() -> Dict[str, str]:
     """All ``REPRO_*`` environment knobs currently set."""
-    return {k: v for k, v in sorted(os.environ.items()) if k.startswith("REPRO_")}
+    return knobs.snapshot()
 
 
 def _package_version() -> Optional[str]:
@@ -153,7 +154,7 @@ def write_manifest(
     ``runs/`` under the current directory.
     """
     if run_dir is None:
-        run_dir = os.environ.get(RUN_DIR_ENV) or DEFAULT_RUN_DIR
+        run_dir = knobs.get_path(RUN_DIR_ENV) or DEFAULT_RUN_DIR
     directory = pathlib.Path(run_dir)
     directory.mkdir(parents=True, exist_ok=True)
     stamp = time.strftime("%Y%m%dT%H%M%S")

@@ -32,6 +32,8 @@ import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.config import knobs
+
 __all__ = [
     "TRACE_ENV",
     "SpanRecord",
@@ -56,7 +58,7 @@ _lock = threading.RLock()
 _records: "List[SpanRecord]" = []
 _seq = itertools.count()
 _state = threading.local()
-_enabled = os.environ.get(TRACE_ENV, "").strip() in ("1", "true", "yes", "on")
+_enabled = knobs.get_bool(TRACE_ENV)
 
 
 @dataclass(frozen=True)

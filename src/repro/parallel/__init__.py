@@ -20,7 +20,7 @@ from repro.parallel.executor import (
     parallel_map,
     resolve_workers,
 )
-from repro.parallel.seeding import derive_seed, derive_seeds
+from repro.parallel.seeding import RngLike, derive_seed, derive_seeds, ensure_rng, fresh_rng
 
 __all__ = [
     "WORKERS_ENV",
@@ -32,6 +32,9 @@ __all__ = [
     "resolve_workers",
     "get_executor",
     "parallel_map",
+    "RngLike",
     "derive_seed",
     "derive_seeds",
+    "ensure_rng",
+    "fresh_rng",
 ]

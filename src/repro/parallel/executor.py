@@ -32,6 +32,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.config import knobs
 from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.obs.log import get_logger
@@ -62,7 +63,7 @@ R = TypeVar("R")
 def resolve_workers(workers: Optional[int] = None) -> int:
     """Worker count: explicit argument > ``REPRO_WORKERS`` > 1."""
     if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
+        raw = (knobs.get_raw(WORKERS_ENV) or "").strip()
         if not raw:
             return 1
         try:
@@ -289,8 +290,8 @@ def get_executor(
     count = resolve_workers(workers)
     if count <= 1:
         return SerialExecutor()
-    kind = kind if kind is not None else os.environ.get(EXECUTOR_ENV, "process").strip()
-    kind = (kind or "process").lower()
+    kind = kind if kind is not None else (knobs.get_str(EXECUTOR_ENV) or "process")
+    kind = (kind.strip() or "process").lower()
     if kind == "serial":
         return SerialExecutor()
     if kind == "thread":

@@ -53,7 +53,9 @@ def harden(soft_bits: np.ndarray, threshold: float = 0.5) -> np.ndarray:
     return (np.asarray(soft_bits, dtype=float) >= threshold).astype(float)
 
 
-def msb_match(predicted: np.ndarray, target: np.ndarray, bits: int, compare_bits: int) -> np.ndarray:
+def msb_match(
+    predicted: np.ndarray, target: np.ndarray, bits: int, compare_bits: int
+) -> np.ndarray:
     """Relaxed equality on the top ``compare_bits`` of each bit group.
 
     Parameters

@@ -85,10 +85,7 @@ def quantization_table(quality: int = 50) -> np.ndarray:
     """JPEG luminance table scaled for a quality factor in [1, 100]."""
     if not 1 <= quality <= 100:
         raise ValueError(f"quality must be in [1, 100], got {quality}")
-    if quality < 50:
-        scale = 5000.0 / quality
-    else:
-        scale = 200.0 - 2.0 * quality
+    scale = 5000.0 / quality if quality < 50 else 200.0 - 2.0 * quality
     table = np.floor((_BASE_TABLE * scale + 50.0) / 100.0)
     return np.clip(table, 1.0, 255.0)
 

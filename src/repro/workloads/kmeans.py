@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.cost.area import Topology
 from repro.nn.datasets import UnitScaler
+from repro.parallel.seeding import ensure_rng
 from repro.workloads.base import Benchmark, BenchmarkSpec
 
 __all__ = ["rgb_distance", "KMeansClusterer", "segment_image", "synthetic_rgb_image",
@@ -101,15 +102,16 @@ class KMeansClusterer:
             centroids.append(points[rng.choice(len(points), p=d2 / total)])
         return np.array(centroids, dtype=float)
 
-    def fit(self, points: np.ndarray, rng: "np.random.Generator | int | None" = None) -> "KMeansClusterer":
+    def fit(
+        self, points: np.ndarray, rng: "np.random.Generator | int | None" = None
+    ) -> "KMeansClusterer":
         """Run Lloyd's algorithm on ``(n, 3)`` RGB points."""
         points = np.atleast_2d(np.asarray(points, dtype=float))
         if points.shape[1] != 3:
             raise ValueError(f"expected RGB points, got {points.shape[1]} features")
         if len(points) < self.k:
             raise ValueError(f"need at least k={self.k} points, got {len(points)}")
-        if not isinstance(rng, np.random.Generator):
-            rng = np.random.default_rng(rng)
+        rng = ensure_rng(rng, "workloads.KMeansClusterer")
         centroids = self._seed(points, rng)
         for _ in range(self.max_iterations):
             labels = np.argmin(self._pairwise(points, centroids), axis=1)

@@ -74,8 +74,7 @@ def sobel_image(image: np.ndarray, window_fn: Optional[WindowFn] = None) -> np.n
     image = np.asarray(image, dtype=float)
     fn = window_fn if window_fn is not None else sobel_window
     windows = extract_windows(image)
-    magnitudes = np.asarray(fn(windows), dtype=float).reshape(image.shape)
-    return magnitudes
+    return np.asarray(fn(windows), dtype=float).reshape(image.shape)
 
 
 class SobelBenchmark(Benchmark):

@@ -1,0 +1,286 @@
+"""Fixture-driven coverage for the repro-lint rule set.
+
+Every RPR rule gets at least one *positive* fixture (the rule fires)
+and one *negative* fixture (idiomatic code passes), plus suppression,
+rendering and repo-wide enforcement tests.  Fixtures are inline source
+snippets: the unit under test is pure (source text in, findings out),
+so no tmp files are needed except for the path-walking tests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lintrules import (
+    ALL_RULES,
+    check_source,
+    render_human,
+    render_json,
+    run_paths,
+    suppressed_lines,
+)
+from repro.lintrules.engine import default_target, iter_python_files
+
+
+def codes(source: str, path: str = "lib.py") -> list:
+    return [finding.rule for finding in check_source(source, path)]
+
+
+# ---------------------------------------------------------------------------
+# RPR001 — unseeded generator construction
+# ---------------------------------------------------------------------------
+
+
+class TestRPR001:
+    def test_fires_on_bare_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert codes(src) == ["RPR001"]
+
+    def test_fires_through_import_alias(self):
+        src = "from numpy.random import default_rng as make\nrng = make()\n"
+        assert codes(src) == ["RPR001"]
+
+    def test_fires_on_direct_generator_construction(self):
+        src = "import numpy as np\ng = np.random.Generator(np.random.PCG64(7))\n"
+        assert "RPR001" in codes(src)
+
+    def test_silent_on_seeded_default_rng(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert codes(src) == []
+
+    def test_silent_on_threaded_rng_argument(self):
+        src = (
+            "import numpy as np\n"
+            "def noisy(x, rng):\n"
+            "    return x + rng.normal(size=x.shape)\n"
+        )
+        assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR002 — legacy global RNG state
+# ---------------------------------------------------------------------------
+
+
+class TestRPR002:
+    def test_fires_on_numpy_global_seed(self):
+        src = "import numpy as np\nnp.random.seed(0)\nx = np.random.rand(3)\n"
+        found = codes(src)
+        assert found.count("RPR002") == 2
+
+    def test_fires_on_stdlib_random_import(self):
+        assert codes("import random\n") == ["RPR002"]
+
+    def test_fires_on_from_import_of_legacy_function(self):
+        assert codes("from numpy.random import randn\n") == ["RPR002"]
+
+    def test_silent_on_generator_api(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(1)\n"
+            "ok = isinstance(rng, np.random.Generator)\n"
+            "seq = np.random.SeedSequence(5)\n"
+        )
+        assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR003 — environment reads outside the knob registry
+# ---------------------------------------------------------------------------
+
+
+class TestRPR003:
+    def test_fires_on_environ_get(self):
+        src = "import os\nlevel = os.environ.get('REPRO_LOG', '')\n"
+        assert codes(src) == ["RPR003"]
+
+    def test_fires_on_getenv_and_subscript(self):
+        src = "import os\na = os.getenv('REPRO_TRACE')\nb = os.environ['REPRO_FULL']\n"
+        assert codes(src) == ["RPR003", "RPR003"]
+
+    def test_fires_on_environ_iteration(self):
+        src = "import os\nknobs = {k: v for k, v in os.environ.items()}\n"
+        assert codes(src) == ["RPR003"]
+
+    def test_silent_on_registry_read(self):
+        src = (
+            "from repro.config import knobs\n"
+            "workers = knobs.get_int('REPRO_WORKERS')\n"
+        )
+        assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR004 — stdout writes in library modules
+# ---------------------------------------------------------------------------
+
+
+class TestRPR004:
+    def test_fires_on_print_in_library_module(self):
+        assert codes("print('done')\n", "repro/core/thing.py") == ["RPR004"]
+
+    def test_fires_on_sys_stdout_write(self):
+        src = "import sys\nsys.stdout.write('table')\n"
+        assert codes(src) == ["RPR004"]
+
+    def test_fires_on_print_to_explicit_stdout(self):
+        src = "import sys\nprint('x', file=sys.stdout)\n"
+        assert "RPR004" in codes(src)
+
+    def test_silent_in_main_module(self):
+        assert codes("print('table row')\n", "repro/__main__.py") == []
+
+    def test_silent_on_stderr_diagnostics(self):
+        src = "import sys\nprint('debug', file=sys.stderr)\n"
+        assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# RPR005 — hand-rolled rng normalization
+# ---------------------------------------------------------------------------
+
+
+class TestRPR005:
+    def test_fires_on_not_isinstance_block(self):
+        src = (
+            "import numpy as np\n"
+            "def f(rng=None):\n"
+            "    if not isinstance(rng, np.random.Generator):\n"
+            "        rng = np.random.default_rng(rng)\n"
+            "    return rng\n"
+        )
+        assert codes(src) == ["RPR005"]
+
+    def test_fires_on_conditional_expression_form(self):
+        src = (
+            "import numpy as np\n"
+            "def f(rng):\n"
+            "    return rng if isinstance(rng, np.random.Generator) "
+            "else np.random.default_rng(rng)\n"
+        )
+        assert codes(src) == ["RPR005"]
+
+    def test_silent_on_ensure_rng(self):
+        src = (
+            "from repro.parallel.seeding import ensure_rng\n"
+            "def f(rng=None):\n"
+            "    return ensure_rng(rng, 'fixture')\n"
+        )
+        assert codes(src) == []
+
+    def test_silent_on_unrelated_isinstance(self):
+        src = "def f(x):\n    if not isinstance(x, int):\n        x = int(x)\n    return x\n"
+        assert codes(src) == []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_line_suppression_silences_one_rule(self):
+        src = "import os\nv = os.environ.get('X')  # repro-lint: disable=RPR003\n"
+        assert codes(src) == []
+
+    def test_suppression_is_line_scoped(self):
+        src = (
+            "import os\n"
+            "a = os.environ.get('X')  # repro-lint: disable=RPR003\n"
+            "b = os.environ.get('Y')\n"
+        )
+        findings = check_source(src, "lib.py")
+        assert [(f.rule, f.line) for f in findings] == [("RPR003", 3)]
+
+    def test_suppression_is_rule_scoped(self):
+        src = "import os\nprint(os.environ['X'])  # repro-lint: disable=RPR003\n"
+        assert codes(src) == ["RPR004"]
+
+    def test_multi_code_suppression(self):
+        src = "import os\nprint(os.environ['X'])  # repro-lint: disable=RPR003,RPR004\n"
+        assert codes(src) == []
+
+    def test_parser_reads_comment_tokens(self):
+        lines = suppressed_lines("x = 1\ny = 2  # repro-lint: disable=RPR001, RPR005\n")
+        assert lines == {2: {"RPR001", "RPR005"}}
+
+
+# ---------------------------------------------------------------------------
+# Engine: rendering, walking, and the repo-wide gate
+# ---------------------------------------------------------------------------
+
+
+class TestEngine:
+    def test_render_human_lists_location_and_code(self):
+        findings = check_source("print('x')\n", "pkg/mod.py")
+        text = render_human(findings, checked=1)
+        assert "pkg/mod.py:1:0: RPR004" in text
+        assert "1 finding(s)" in text
+
+    def test_render_human_clean(self):
+        assert "clean" in render_human([], checked=3)
+
+    def test_render_json_round_trips(self):
+        findings = check_source("import random\n", "pkg/mod.py")
+        payload = json.loads(render_json(findings, checked=1))
+        assert payload["total"] == 1
+        assert payload["by_rule"] == {"RPR002": 1}
+        assert payload["findings"][0]["path"] == "pkg/mod.py"
+        assert payload["rules"] == [rule.code for rule in ALL_RULES]
+
+    def test_iter_python_files_walks_and_dedupes(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "b.py").write_text("y = 2\n")
+        (sub / "__pycache__").mkdir()
+        (sub / "__pycache__" / "c.py").write_text("z = 3\n")
+        files = list(iter_python_files([tmp_path, tmp_path / "a.py"]))
+        assert [f.name for f in files] == ["a.py", "b.py"]
+
+    def test_run_paths_reports_violations_in_tree(self, tmp_path):
+        (tmp_path / "bad.py").write_text("import numpy as np\nr = np.random.default_rng()\n")
+        findings = run_paths([tmp_path])
+        assert [f.rule for f in findings] == ["RPR001"]
+
+    def test_every_rule_has_positive_and_negative_fixture(self):
+        # Meta-test: the classes above cover each registered rule.
+        covered = {rule.code for rule in ALL_RULES}
+        assert covered == {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005"}
+
+
+@pytest.mark.parametrize("rule", [rule.code for rule in ALL_RULES])
+def test_repo_is_clean(rule):
+    """The enforcement gate: the shipped package has zero findings."""
+    findings = [f for f in run_paths([default_target()]) if f.rule == rule]
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_cli_lint_exits_zero_and_reports_json(capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 0
+    assert payload["files_checked"] > 50
+
+
+def test_cli_lint_nonzero_on_finding(tmp_path, capsys):
+    from repro.__main__ import main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import os\nv = os.environ.get('REPRO_LOG')\n")
+    assert main(["lint", "--paths", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR003" in out
+
+
+def test_cli_list_rules(capsys):
+    from repro.__main__ import main
+
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.code in out
