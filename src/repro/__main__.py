@@ -8,6 +8,7 @@ Usage::
     python -m repro fig4                  # Fig. 4 method comparison
     python -m repro fig5                  # Fig. 5 robustness sweeps
     python -m repro bitlength             # MEI word-length extension
+    python -m repro faults --scale fast   # stuck-at fault campaign
     python -m repro all                   # everything, in paper order
 
     python -m repro bench                 # bench suite -> runs/history.jsonl
@@ -146,6 +147,48 @@ def _run_report(args) -> int:
     return 0
 
 
+def _run_faults(args) -> int:
+    """The fault-injection campaign: always manifest-backed.
+
+    Unlike the figure runners, ``faults`` writes a run manifest
+    unconditionally — the manifest carries the defect-map seeds and
+    the mitigation comparison table, which *are* the campaign's
+    reproducibility contract (``docs/robustness.md``).
+    """
+    from repro.experiments.fig_faults import campaign_scale, run_fig_faults
+    from repro.parallel.resilient import RetryPolicy
+
+    scale = campaign_scale(args.scale)
+    chaos = not args.no_chaos
+    workers = args.workers if args.workers is not None else 2
+    benchmarks = (args.bench,) if args.bench else None
+    with span("faults", scale=scale.name, seed=args.seed, chaos=chaos):
+        result = run_fig_faults(
+            scale=scale,
+            seed=args.seed,
+            benchmarks=benchmarks,
+            workers=workers,
+            policy=RetryPolicy.from_env(),
+            chaos=chaos,
+        )
+    print(result.render())
+    path = runinfo.write_manifest(
+        "faults",
+        run_dir=args.run_dir,
+        seed=args.seed,
+        scale=scale,
+        argv=sys.argv[1:],
+        extra={"campaign": result.to_dict()},
+        spans=obs_trace.get_records(),
+        metrics_snapshot=obs_metrics.snapshot(),
+    )
+    _log.info(
+        "wrote run manifest",
+        extra={"fields": {"experiment": "faults", "path": os.fspath(path)}},
+    )
+    return 0
+
+
 def _run_lint(args) -> int:
     from repro.lintrules import engine
     from repro.lintrules.rules import rule_catalogue
@@ -173,12 +216,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=["fig2", "fig3", "table1", "fig4", "fig5", "bitlength",
-                 "bench", "compare", "report", "summary", "lint", "all"],
-        help="artifact to regenerate, or a trajectory command: 'bench' runs the "
-             "benchmark suite and appends to the run history, 'compare' gates the "
-             "latest entry against a baseline, 'report' renders the trajectory "
-             "(markdown + HTML), 'summary' collates archived bench tables, "
-             "'lint' runs the repro-lint invariant checker over the package",
+                 "faults", "bench", "compare", "report", "summary", "lint", "all"],
+        help="artifact to regenerate, or a trajectory command: 'faults' runs the "
+             "stuck-at fault-injection campaign (manifest always written), 'bench' "
+             "runs the benchmark suite and appends to the run history, 'compare' "
+             "gates the latest entry against a baseline, 'report' renders the "
+             "trajectory (markdown + HTML), 'summary' collates archived bench "
+             "tables, 'lint' runs the repro-lint invariant checker over the package",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     parser.add_argument("--full", action="store_true",
@@ -216,6 +260,14 @@ def main(argv=None) -> int:
                         help="lint: print the RPR rule catalogue and exit")
     parser.add_argument("--write-baseline", action="store_true",
                         help="bench: also write the entry to benchmarks/baseline.json")
+    parser.add_argument("--scale", default="fast", choices=["fast", "quick", "full"],
+                        help="faults: campaign budget (default fast; --full is "
+                             "ignored by 'faults' in favour of this)")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="faults: executor worker count (default 2, so the "
+                             "chaos drill has a process pool to crash)")
+    parser.add_argument("--no-chaos", action="store_true",
+                        help="faults: skip the forced worker-crash drill")
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="report: output directory for report.md/report.html "
                              "(default 'runs/')")
@@ -242,6 +294,8 @@ def main(argv=None) -> int:
         return 0
     if args.experiment == "lint":
         return _run_lint(args)
+    if args.experiment == "faults":
+        return _run_faults(args)
 
     write_manifests = obs_trace.enabled() or args.run_dir is not None
 

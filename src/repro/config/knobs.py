@@ -33,6 +33,7 @@ __all__ = [
     "all_knobs",
     "docs_table",
     "get_bool",
+    "get_float",
     "get_int",
     "get_path",
     "get_raw",
@@ -89,7 +90,7 @@ class Knob:
     def __post_init__(self) -> None:
         if not self.name.startswith(KNOB_PREFIX):
             raise ValueError(f"knob names must start with {KNOB_PREFIX!r}, got {self.name!r}")
-        if self.kind not in ("str", "int", "bool", "path", "enum", "level"):
+        if self.kind not in ("str", "int", "float", "bool", "path", "enum", "level"):
             raise ValueError(f"unknown knob kind {self.kind!r} for {self.name}")
         if not self.description:
             raise ValueError(f"knob {self.name} needs a description")
@@ -173,6 +174,18 @@ def get_int(name: str) -> Optional[int]:
     if raw is None:
         return None
     return int(raw)
+
+
+def get_float(name: str) -> Optional[float]:
+    """Float value; raises :class:`ValueError` on a non-number.
+
+    Returns the registered default (coerced) when unset/empty, or
+    ``None`` when there is no default either.
+    """
+    raw = get_str(name)
+    if raw is None:
+        return None
+    return float(raw)
 
 
 def get_path(name: str) -> Optional[str]:
@@ -266,4 +279,19 @@ register(
     "bool",
     "0",
     "Run experiments at the paper-scale budgets instead of the quick ones.",
+)
+register(
+    "REPRO_TASK_TIMEOUT",
+    "float",
+    None,
+    "Resilient-map stall timeout in seconds: if no task completes within this "
+    "window the pool is declared hung, rebuilt, and the unfinished tasks "
+    "resubmitted. Unset = wait forever.",
+)
+register(
+    "REPRO_TASK_RETRIES",
+    "int",
+    "2",
+    "Re-execution budget per task in a resilient map before it degrades to "
+    "the in-parent serial fallback.",
 )

@@ -114,6 +114,74 @@ class AnalogMLP:
             yield pair.positive
             yield pair.negative
 
+    def arrays(self):
+        """Every single-ended array of the deployment, in layer order.
+
+        This is the canonical enumeration order shared by fault
+        injection (:mod:`repro.device.faults`), spare-column repair and
+        the conductance snapshot/restore pair — index ``i`` always
+        refers to the same physical array across all of them.
+        """
+        for xbar in self.crossbars:
+            yield from self._arrays_of(xbar)
+
+    def conductance_snapshot(self) -> "List[np.ndarray]":
+        """Copies of every array's programmed conductances.
+
+        Taken before fault injection, the snapshot is the set of
+        programming *targets* that spare-column repair
+        (:meth:`repair_with_spares`) steers onto healthy spares.
+        """
+        return [array.conductances.copy() for array in self.arrays()]
+
+    def restore_conductances(self, snapshot: "List[np.ndarray]") -> None:
+        """Reprogram every array from a :meth:`conductance_snapshot`."""
+        arrays = list(self.arrays())
+        if len(snapshot) != len(arrays):
+            raise ValueError(
+                f"snapshot has {len(snapshot)} arrays, deployment has {len(arrays)}"
+            )
+        for array, g in zip(arrays, snapshot):
+            if g.shape != array.conductances.shape:
+                raise ValueError("snapshot shape does not match deployment")
+            array.conductances = g.copy()
+
+    def repair_with_spares(
+        self,
+        defect_maps: "List[np.ndarray]",
+        pristine: "List[np.ndarray]",
+        spares_per_array: int,
+    ) -> "List":
+        """Spare-column repair across the whole deployment.
+
+        Each single-ended array spends an independent budget of
+        ``spares_per_array`` spare columns on its worst defective
+        columns (see :func:`repro.xbar.redundancy.remap_spare_columns`).
+        ``defect_maps`` and ``pristine`` must be in :meth:`arrays`
+        order — exactly what
+        :func:`repro.device.faults.inject_faults_analog_report` and
+        :meth:`conductance_snapshot` return.  Returns the per-array
+        :class:`~repro.xbar.redundancy.RemapReport` list.
+        """
+        from repro.xbar.redundancy import remap_spare_columns
+
+        arrays = list(self.arrays())
+        if not (len(defect_maps) == len(pristine) == len(arrays)):
+            raise ValueError(
+                f"got {len(defect_maps)} defect maps and {len(pristine)} "
+                f"snapshots for {len(arrays)} arrays"
+            )
+        with span("spare_repair", arrays=len(arrays), spares=spares_per_array) as sp:
+            reports = [
+                remap_spare_columns(array, defects, targets, spares_per_array)
+                for array, defects, targets in zip(arrays, defect_maps, pristine)
+            ]
+            sp.set(
+                spares_used=sum(r.spares_used for r in reports),
+                cells_repaired=sum(r.cells_repaired for r in reports),
+            )
+        return reports
+
     @classmethod
     def _program(cls, xbar, config: "ProgrammingConfig", index: int) -> None:
         """Replace ideal conductances with write-verify programmed states.

@@ -1,29 +1,69 @@
-"""Stuck-at-fault (SAF) injection for RRAM crossbars.
+"""Stuck-at-fault (SAF) and line-failure injection for RRAM crossbars.
 
 Beyond the paper's two statistical non-ideal factors (process
 variation and signal fluctuation), fabricated RRAM arrays exhibit hard
 defects: cells stuck at the low-resistance state (stuck-on, SA1) or
-the high-resistance state (stuck-off, SA0).  Published defect maps
-put combined SAF rates around 1-10%.  This module injects such faults
-into deployed crossbars so the test suite and robustness studies can
-exercise the failure mode the paper's redundancy/ensemble discussion
-implicitly targets.
+the high-resistance state (stuck-off, SA0), plus whole-line failures
+where a broken wordline (row) or bitline (column) disconnects every
+cell on it.  Published defect maps put combined SAF rates around
+1-10%.  This module injects such faults into deployed crossbars so the
+robustness campaign engine (:mod:`repro.robustness`) can measure the
+accuracy loss and the recovery delivered by spare-column remapping and
+fault-aware SAAB retraining.
+
+Seeding follows the RPR001 discipline: defect maps are drawn through
+:func:`repro.parallel.seeding.ensure_rng`, so a ``FaultModel`` without
+a seed still produces a *logged* (hence replayable) defect map, and
+per-array child seeds derive through
+:func:`repro.parallel.seeding.derive_seed` spawn keys rather than
+fragile ``seed + index`` arithmetic.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 import numpy as np
 
+from repro.parallel.seeding import derive_seed, ensure_rng
 from repro.xbar.crossbar import Crossbar
 
-__all__ = ["FaultModel", "inject_faults", "inject_faults_analog"]
+__all__ = [
+    "DEFECT_HEALTHY",
+    "DEFECT_SA1",
+    "DEFECT_SA0",
+    "DEFECT_ROW_OPEN",
+    "DEFECT_COL_OPEN",
+    "FaultModel",
+    "InjectionReport",
+    "inject_faults",
+    "inject_faults_analog",
+    "inject_faults_analog_report",
+]
+
+DEFECT_HEALTHY = 0
+"""Defect-map class: cell programs and reads normally."""
+
+DEFECT_SA1 = 1
+"""Defect-map class: cell stuck at ``g_max`` (stuck-on)."""
+
+DEFECT_SA0 = 2
+"""Defect-map class: cell stuck at ``g_min`` (stuck-off)."""
+
+DEFECT_ROW_OPEN = 3
+"""Defect-map class: broken wordline — every cell of the row floats
+(modeled as ``g_min``: no programmable current path)."""
+
+DEFECT_COL_OPEN = 4
+"""Defect-map class: broken bitline — every cell of the column floats
+(modeled as ``g_min``)."""
 
 
 @dataclass(frozen=True)
 class FaultModel:
-    """Stuck-at fault rates.
+    """Stuck-at and line-failure rates.
 
     Parameters
     ----------
@@ -31,65 +71,185 @@ class FaultModel:
         Probability a cell is stuck at ``g_max`` (SA1).
     stuck_off_rate:
         Probability a cell is stuck at ``g_min`` (SA0).
+    row_failure_rate:
+        Probability an entire row (wordline) is open; overrides any
+        cell-level class on that row.
+    col_failure_rate:
+        Probability an entire column (bitline) is open; overrides
+        cell-level classes on that column.
     seed:
-        RNG seed for the defect map.
+        Base seed for the defect maps.  ``None`` draws (and logs) fresh
+        entropy through the RPR001 discipline, so even unseeded maps
+        replay from the structured log.
     """
 
     stuck_on_rate: float = 0.0
     stuck_off_rate: float = 0.0
+    row_failure_rate: float = 0.0
+    col_failure_rate: float = 0.0
     seed: "int | None" = None
 
     def __post_init__(self) -> None:
-        if not 0 <= self.stuck_on_rate <= 1 or not 0 <= self.stuck_off_rate <= 1:
-            raise ValueError("fault rates must be in [0, 1]")
+        for name in ("stuck_on_rate", "stuck_off_rate",
+                     "row_failure_rate", "col_failure_rate"):
+            rate = getattr(self, name)
+            if not 0 <= rate <= 1:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
         if self.stuck_on_rate + self.stuck_off_rate > 1:
-            raise ValueError("combined fault rate cannot exceed 1")
+            raise ValueError("combined cell fault rate cannot exceed 1")
 
     @property
     def total_rate(self) -> float:
+        """Combined cell-level SAF rate (line failures not included)."""
         return self.stuck_on_rate + self.stuck_off_rate
 
+    @property
+    def is_clean(self) -> bool:
+        """True when no fault of any kind would be injected."""
+        return (self.total_rate == 0 and self.row_failure_rate == 0
+                and self.col_failure_rate == 0)
+
+    def rng(self, index: int = 0) -> np.random.Generator:
+        """Generator for array ``index``'s defect map.
+
+        Child streams derive through ``SeedSequence`` spawn keys
+        (:func:`repro.parallel.seeding.derive_seed`), so every array of
+        a deployment gets a well-mixed independent stream that is a
+        pure function of ``(seed, index)``.  An unseeded model routes
+        through :func:`repro.parallel.seeding.ensure_rng`, which logs
+        the drawn entropy for replay.
+        """
+        if self.seed is None:
+            return ensure_rng(None, f"device.FaultModel[{index}]")
+        return ensure_rng(derive_seed(self.seed, index), "device.FaultModel")
+
+    def for_array(self, index: int) -> "FaultModel":
+        """The model with array ``index``'s derived seed materialized.
+
+        Used by campaign manifests to record the exact per-array defect
+        seed alongside the map statistics; replay the map with
+        :meth:`replay_rng` (NOT :meth:`rng`, which would derive a
+        second-level child seed).
+        """
+        if self.seed is None:
+            return self
+        return dataclasses.replace(self, seed=derive_seed(self.seed, index))
+
+    def replay_rng(self) -> np.random.Generator:
+        """Generator seeded with ``seed`` directly — no child derivation.
+
+        The replay half of the manifest contract:
+        ``model.for_array(i).replay_rng()`` reproduces the exact stream
+        :meth:`rng` gave array ``i`` during injection, so a recorded
+        ``array_seeds`` entry regenerates that array's defect map.
+        """
+        return ensure_rng(self.seed, "device.FaultModel.replay")
+
     def defect_map(self, shape, rng: np.random.Generator) -> np.ndarray:
-        """Defect classes per cell: 0 = healthy, 1 = SA1, 2 = SA0."""
+        """Defect classes per cell (see the ``DEFECT_*`` constants).
+
+        Cell-level faults draw first, then line failures overwrite
+        whole rows/columns — the generator consumption order is part of
+        the replay contract.
+        """
         draw = rng.random(shape)
         defects = np.zeros(shape, dtype=int)
-        defects[draw < self.stuck_on_rate] = 1
-        defects[(draw >= self.stuck_on_rate) & (draw < self.total_rate)] = 2
+        defects[draw < self.stuck_on_rate] = DEFECT_SA1
+        defects[(draw >= self.stuck_on_rate) & (draw < self.total_rate)] = DEFECT_SA0
+        if self.row_failure_rate > 0:
+            rows = rng.random(shape[0]) < self.row_failure_rate
+            defects[rows, :] = DEFECT_ROW_OPEN
+        if self.col_failure_rate > 0:
+            cols = rng.random(shape[1]) < self.col_failure_rate
+            defects[:, cols] = DEFECT_COL_OPEN
         return defects
 
 
-def inject_faults(xbar: Crossbar, model: FaultModel) -> np.ndarray:
-    """Inject stuck-at faults into one crossbar array, in place.
+@dataclass
+class InjectionReport:
+    """What one whole-deployment injection actually did.
+
+    Collected per single-ended array in deployment order (the order of
+    :meth:`repro.core.deploy.AnalogMLP.arrays`), so the campaign engine
+    can replay, report and *repair* exactly the cells that were hit.
+    """
+
+    model: FaultModel
+    defect_maps: List[np.ndarray] = field(default_factory=list)
+    array_seeds: List[Optional[int]] = field(default_factory=list)
+
+    @property
+    def faulty_cells(self) -> int:
+        return int(sum(np.count_nonzero(d) for d in self.defect_maps))
+
+    @property
+    def total_cells(self) -> int:
+        return int(sum(d.size for d in self.defect_maps))
+
+    @property
+    def observed_rate(self) -> float:
+        total = self.total_cells
+        return self.faulty_cells / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe summary embedded in campaign run manifests."""
+        return {
+            "stuck_on_rate": self.model.stuck_on_rate,
+            "stuck_off_rate": self.model.stuck_off_rate,
+            "row_failure_rate": self.model.row_failure_rate,
+            "col_failure_rate": self.model.col_failure_rate,
+            "base_seed": self.model.seed,
+            "array_seeds": list(self.array_seeds),
+            "faulty_cells": self.faulty_cells,
+            "total_cells": self.total_cells,
+            "observed_rate": self.observed_rate,
+        }
+
+
+def _stuck_conductances(g: np.ndarray, defects: np.ndarray, device) -> np.ndarray:
+    """Apply a defect map to a conductance array (pure function)."""
+    out = g.copy()
+    out[defects == DEFECT_SA1] = device.g_max
+    out[(defects == DEFECT_SA0) | (defects == DEFECT_ROW_OPEN)
+        | (defects == DEFECT_COL_OPEN)] = device.g_min
+    return out
+
+
+def inject_faults(
+    xbar: Crossbar,
+    model: FaultModel,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Inject faults into one crossbar array, in place.
 
     Returns the defect map so callers can report fault statistics.
+    The map is drawn from ``rng`` when given (the campaign engine
+    passes per-array derived streams), else from ``model.rng()``.
     """
-    rng = np.random.default_rng(model.seed)
+    rng = rng if rng is not None else model.rng()
     defects = model.defect_map(xbar.conductances.shape, rng)
-    g = xbar.conductances.copy()
-    g[defects == 1] = xbar.device.g_max
-    g[defects == 2] = xbar.device.g_min
-    xbar.conductances = g
+    xbar.conductances = _stuck_conductances(xbar.conductances, defects, xbar.device)
     return defects
 
 
-def inject_faults_analog(analog, model: FaultModel) -> int:
+def inject_faults_analog_report(analog, model: FaultModel) -> InjectionReport:
     """Inject faults into every array of a deployed :class:`AnalogMLP`.
 
-    Each array gets an independent defect map (seeded deterministically
-    from ``model.seed``).  Returns the total number of faulty cells.
+    Each array gets an independent defect map whose stream derives from
+    ``model.seed`` through spawn keys (see :meth:`FaultModel.rng`).
+    Returns the full :class:`InjectionReport` — per-array maps and
+    seeds — which the campaign engine records in run manifests and the
+    spare-column repair consumes.
     """
-    import dataclasses
+    report = InjectionReport(model=model)
+    for index, array in enumerate(analog.arrays()):
+        array_model = model.for_array(index)
+        defects = inject_faults(array, model, rng=model.rng(index))
+        report.defect_maps.append(defects)
+        report.array_seeds.append(array_model.seed)
+    return report
 
-    total = 0
-    index = 0
-    for xbar in analog.crossbars:
-        for array in type(analog)._arrays_of(xbar):
-            array_model = (
-                model
-                if model.seed is None
-                else dataclasses.replace(model, seed=model.seed + index)
-            )
-            defects = inject_faults(array, array_model)
-            total += int(np.count_nonzero(defects))
-            index += 1
-    return total
+
+def inject_faults_analog(analog, model: FaultModel) -> int:
+    """Backward-compatible injection: returns the faulty-cell count."""
+    return inject_faults_analog_report(analog, model).faulty_cells

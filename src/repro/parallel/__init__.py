@@ -20,9 +20,25 @@ from repro.parallel.executor import (
     parallel_map,
     resolve_workers,
 )
+from repro.parallel.resilient import (
+    TASK_RETRIES_ENV,
+    TASK_TIMEOUT_ENV,
+    ResilienceReport,
+    ResilientResult,
+    RetryPolicy,
+    TaskError,
+    resilient_map,
+)
 from repro.parallel.seeding import RngLike, derive_seed, derive_seeds, ensure_rng, fresh_rng
 
 __all__ = [
+    "TASK_TIMEOUT_ENV",
+    "TASK_RETRIES_ENV",
+    "RetryPolicy",
+    "TaskError",
+    "ResilienceReport",
+    "ResilientResult",
+    "resilient_map",
     "WORKERS_ENV",
     "EXECUTOR_ENV",
     "Executor",

@@ -1,0 +1,416 @@
+"""Campaign-grade resilient map: timeouts, retries, crash resubmission.
+
+The plain executors in :mod:`repro.parallel.executor` assume a polite
+world: every task returns, no worker dies, nothing hangs.  Long
+fault-injection campaigns (:mod:`repro.robustness`) cannot — a sweep
+that trains hundreds of small systems must survive a worker being
+OOM-killed at hour three.  :func:`resilient_map` wraps the same
+order-preserving ``map`` contract with:
+
+* **stall timeout** — if *no* task completes within
+  ``REPRO_TASK_TIMEOUT`` seconds, the pool is declared hung, torn
+  down, and its unfinished tasks resubmitted to a fresh pool.  The
+  window resets on every completion, so a long queue behind a slow
+  pool never trips it; only genuine no-progress does.
+* **bounded retry with exponential backoff** — a task that raises is
+  re-executed up to ``REPRO_TASK_RETRIES`` times, sleeping
+  ``backoff * 2^attempt`` between rounds.
+* **crashed-worker detection** — a ``BrokenProcessPool`` (worker
+  killed mid-task) charges one attempt to every unfinished task
+  (the culprit cannot be identified from the parent), rebuilds the
+  pool, and resubmits.
+* **graceful degradation to serial** — tasks that exhaust their
+  budget, non-picklable work, or a pool that keeps breaking all fall
+  back to in-parent serial execution, logged and recorded in a span,
+  so the campaign *completes* (a task that still fails serially
+  raises :class:`TaskError` with the real cause chained).
+
+Results keep input order and the serial/parallel bit-identity
+guarantee of the plain executors — resilience only changes *where*
+a task runs, never its seeds.  Caveats: the stall timeout needs a
+pool (serial runs cannot be interrupted), and a task that kills its
+own process will kill the campaign if it degrades to the in-parent
+serial path — by then it has already murdered ``retries`` workers,
+so the loud death is deliberate.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent import futures as cf
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.config import knobs
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger
+from repro.parallel.executor import (
+    EXECUTOR_ENV,
+    ProcessExecutor,
+    _ObsTask,
+    _TaskOutcome,
+    resolve_workers,
+)
+
+__all__ = [
+    "TASK_TIMEOUT_ENV",
+    "TASK_RETRIES_ENV",
+    "RetryPolicy",
+    "TaskError",
+    "ResilienceReport",
+    "ResilientResult",
+    "resilient_map",
+]
+
+TASK_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+"""Environment knob: stall timeout in seconds (unset = wait forever)."""
+
+TASK_RETRIES_ENV = "REPRO_TASK_RETRIES"
+"""Environment knob: per-task re-execution budget (default 2)."""
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_log = get_logger("parallel.resilient")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Failure-handling knobs for one resilient map.
+
+    Parameters
+    ----------
+    timeout:
+        Stall timeout in seconds: if no task completes within this
+        window the pool is rebuilt and unfinished tasks resubmitted.
+        ``None`` waits forever (retry/crash handling still applies).
+    retries:
+        Re-executions granted to each task after its first failure
+        before it degrades to the serial fallback.
+    backoff:
+        Base sleep between failure rounds; doubles each round.
+    max_backoff:
+        Upper bound on one backoff sleep.
+    max_pool_rebuilds:
+        Pool incidents (crash or stall) tolerated before the whole
+        remaining workload degrades to serial.
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff: float = 0.05
+    max_backoff: float = 2.0
+    max_pool_rebuilds: int = 3
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff values must be >= 0")
+        if self.max_pool_rebuilds < 0:
+            raise ValueError("max_pool_rebuilds must be >= 0")
+
+    @classmethod
+    def from_env(
+        cls,
+        timeout: Optional[float] = None,
+        retries: Optional[int] = None,
+    ) -> "RetryPolicy":
+        """Policy from ``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES``.
+
+        Explicit arguments override the environment, which overrides
+        the dataclass defaults.
+        """
+        if timeout is None:
+            timeout = knobs.get_float(TASK_TIMEOUT_ENV)
+        env_retries = knobs.get_int(TASK_RETRIES_ENV)
+        if retries is None:
+            retries = env_retries if env_retries is not None else 2
+        return cls(timeout=timeout, retries=retries)
+
+    def sleep_for(self, round_index: int) -> float:
+        """Backoff before failure round ``round_index`` (0-based)."""
+        if self.backoff == 0:
+            return 0.0
+        return float(min(self.backoff * (2 ** round_index), self.max_backoff))
+
+
+class TaskError(RuntimeError):
+    """A task failed terminally, even on the serial fallback path."""
+
+    def __init__(self, index: int, attempts: int, cause: BaseException):
+        super().__init__(
+            f"task {index} failed after {attempts} attempt(s): {cause!r}"
+        )
+        self.index = index
+        self.attempts = attempts
+        self.__cause__ = cause
+
+
+@dataclass
+class ResilienceReport:
+    """Telemetry of one resilient map (embedded in campaign manifests)."""
+
+    tasks: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback_tasks: int = 0
+    degraded: bool = False
+    events: List[str] = field(default_factory=list)
+
+    def record(self, event: str) -> None:
+        self.events.append(event)
+        _log.warning("resilience event", extra={"fields": {"event": event}})
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tasks": self.tasks,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallback_tasks": self.serial_fallback_tasks,
+            "degraded": self.degraded,
+            "events": list(self.events),
+        }
+
+
+@dataclass
+class ResilientResult:
+    """Ordered results plus the resilience telemetry that produced them."""
+
+    results: List[object]
+    report: ResilienceReport
+
+    def __iter__(self):  # pragma: no cover - convenience
+        return iter(self.results)
+
+
+def _absorb(outcome: _TaskOutcome) -> object:
+    """Unwrap one worker outcome, folding its telemetry into-process."""
+    obs_metrics.histogram("executor_queue_wait_seconds").observe(outcome.queue_wait)
+    obs_metrics.histogram("executor_task_seconds").observe(outcome.exec_seconds)
+    if outcome.spans:
+        obs_trace.absorb(outcome.spans)
+    if outcome.metrics:
+        obs_metrics.merge(outcome.metrics)
+    obs_metrics.counter("executor_tasks").inc()
+    return outcome.result
+
+
+def _serial_attempts(
+    fn: Callable[[T], R],
+    item: T,
+    index: int,
+    prior_attempts: int,
+    policy: RetryPolicy,
+    report: ResilienceReport,
+) -> R:
+    """Run one task in-parent, honoring the remaining retry budget."""
+    attempts = prior_attempts
+    while True:
+        try:
+            return fn(item)
+        except Exception as exc:
+            attempts += 1
+            if attempts > policy.retries:
+                raise TaskError(index, attempts, exc) from exc
+            report.retries += 1
+            report.record(f"task {index} raised {type(exc).__name__}; "
+                          f"retry {attempts}/{policy.retries}")
+            time.sleep(policy.sleep_for(attempts - 1))
+
+
+def _serial_fallback(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    results: List[object],
+    leftover: Dict[int, int],
+    policy: RetryPolicy,
+    report: ResilienceReport,
+) -> None:
+    """Degraded path: run the surviving tasks in the parent process."""
+    report.degraded = True
+    report.serial_fallback_tasks += len(leftover)
+    obs_metrics.counter("resilient_serial_fallback").inc(len(leftover))
+    report.record(f"degrading {len(leftover)} task(s) to the serial executor")
+    with obs_trace.span("resilient_serial_fallback", tasks=len(leftover)):
+        for index in sorted(leftover):
+            results[index] = _serial_attempts(
+                fn, items[index], index, leftover[index], policy, report
+            )
+
+
+def _pooled(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    results: List[object],
+    workers: int,
+    kind: str,
+    policy: RetryPolicy,
+    report: ResilienceReport,
+) -> Dict[int, int]:
+    """Pool rounds with stall/crash handling.
+
+    Returns the tasks (index -> attempts so far) that must degrade to
+    the serial fallback; everything else has its result in ``results``.
+    """
+    pending: Dict[int, int] = {i: 0 for i in range(len(items))}
+    leftover: Dict[int, int] = {}
+    incidents = 0
+    failure_rounds = 0
+    while pending:
+        if incidents > policy.max_pool_rebuilds:
+            report.record(
+                f"pool broke/stalled {incidents} times "
+                f"(max {policy.max_pool_rebuilds}); abandoning pooling"
+            )
+            leftover.update(pending)
+            pending.clear()
+            break
+        pool_cls = (
+            cf.ThreadPoolExecutor if kind == "thread" else cf.ProcessPoolExecutor
+        )
+        pool = pool_cls(max_workers=min(workers, len(pending)))
+        task = _ObsTask(fn)
+        future_index = {pool.submit(task, items[i]): i for i in sorted(pending)}
+        incident = None  # "crash" | "stall"
+        retriers: Dict[int, int] = {}
+        try:
+            waiting = set(future_index)
+            while waiting:
+                done, waiting = cf.wait(
+                    waiting, timeout=policy.timeout,
+                    return_when=cf.FIRST_COMPLETED,
+                )
+                if not done:
+                    incident = "stall"
+                    report.timeouts += 1
+                    obs_metrics.counter("resilient_timeouts").inc()
+                    report.record(
+                        f"no task completed within {policy.timeout}s; "
+                        f"{len(waiting)} unfinished — rebuilding pool"
+                    )
+                    break
+                for future in done:
+                    index = future_index[future]
+                    try:
+                        outcome = future.result()
+                    except cf.BrokenExecutor:
+                        incident = "crash"
+                        break
+                    except Exception as exc:
+                        attempts = pending[index] + 1
+                        if attempts > policy.retries:
+                            leftover[index] = attempts
+                            del pending[index]
+                            report.record(
+                                f"task {index} exhausted {policy.retries} "
+                                f"retries ({type(exc).__name__})"
+                            )
+                        else:
+                            pending[index] = attempts
+                            retriers[index] = attempts
+                            report.retries += 1
+                            obs_metrics.counter("resilient_retries").inc()
+                            report.record(
+                                f"task {index} raised {type(exc).__name__}; "
+                                f"retry {attempts}/{policy.retries}"
+                            )
+                    else:
+                        results[index] = _absorb(outcome)
+                        del pending[index]
+                if incident == "crash":
+                    break
+        except cf.BrokenExecutor:
+            incident = "crash"
+        if incident == "crash":
+            report.crashes += 1
+            obs_metrics.counter("resilient_crashes").inc()
+            report.record(
+                f"worker crashed (pool broken); resubmitting "
+                f"{len(pending)} unfinished task(s)"
+            )
+        # A hung/broken pool cannot be joined; leave its teardown to
+        # the GC and move on (cancel what never started).
+        graceful = incident is None
+        pool.shutdown(wait=graceful, cancel_futures=True)
+        if incident is not None:
+            incidents += 1
+            report.pool_rebuilds += 1
+            # The culprit cannot be identified from the parent: charge
+            # one attempt to every task that was still in flight.
+            for index in list(pending):
+                attempts = pending[index] + 1
+                if attempts > policy.retries:
+                    leftover[index] = attempts
+                    del pending[index]
+                else:
+                    pending[index] = attempts
+        if pending and (incident is not None or retriers):
+            time.sleep(policy.sleep_for(failure_rounds))
+            failure_rounds += 1
+    return leftover
+
+
+def resilient_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    workers: Optional[int] = None,
+    kind: Optional[str] = None,
+    policy: Optional[RetryPolicy] = None,
+) -> ResilientResult:
+    """Order-preserving map that survives worker failure.
+
+    Resolves ``workers``/``kind`` exactly like
+    :func:`repro.parallel.executor.get_executor` and applies ``policy``
+    (default: :meth:`RetryPolicy.from_env`).  Always returns all
+    results in input order; raises :class:`TaskError` only when a task
+    fails even on the serial fallback path.
+    """
+    items = list(items)
+    policy = policy if policy is not None else RetryPolicy.from_env()
+    count = resolve_workers(workers)
+    resolved = kind if kind is not None else (knobs.get_str(EXECUTOR_ENV) or "process")
+    resolved = (resolved.strip() or "process").lower()
+    if resolved not in ("serial", "thread", "process"):
+        raise ValueError(
+            f"unknown executor kind {resolved!r}; use serial, thread or process"
+        )
+    report = ResilienceReport(tasks=len(items))
+    results: List[object] = [None] * len(items)
+    with obs_trace.span(
+        "resilient_map", tasks=len(items), workers=count, kind=resolved,
+        timeout=policy.timeout, retries=policy.retries,
+    ) as sp:
+        pooled = count > 1 and len(items) > 1 and resolved != "serial"
+        if pooled and resolved == "process" and not ProcessExecutor._picklable(fn, items):
+            warnings.warn(
+                "task function or arguments are not picklable; "
+                "resilient map degrading to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            report.record("work not picklable; serial from the start")
+            pooled = False
+            report.degraded = True
+        if pooled:
+            leftover = _pooled(fn, items, results, count, resolved, policy, report)
+            if leftover:
+                _serial_fallback(fn, items, results, leftover, policy, report)
+        else:
+            for index, item in enumerate(items):
+                results[index] = _serial_attempts(fn, item, index, 0, policy, report)
+        sp.set(
+            retries=report.retries, timeouts=report.timeouts,
+            crashes=report.crashes, degraded=report.degraded,
+        )
+    if report.degraded:
+        obs_metrics.counter("resilient_degraded_maps").inc()
+    return ResilientResult(results=results, report=report)

@@ -1,0 +1,43 @@
+"""Fault-injection campaign engine and mitigation strategies.
+
+This package answers the question the two statistical non-ideal
+factors cannot: *how much accuracy does a deployed system lose to hard
+defects (stuck-at faults, broken lines), and how much do the two
+mitigations win back?*
+
+* :mod:`repro.robustness.mitigation` — spare-column remapping
+  (redundancy repair through :mod:`repro.xbar.redundancy`) and
+  fault-aware SAAB retraining (each boosting round evaluates its
+  learner on a chip carrying that chip's defect map, so Algorithm 1's
+  noise-aware re-weighting also sees the faults).
+* :mod:`repro.robustness.campaign` — the sweep engine: a grid of
+  :class:`~repro.device.faults.FaultModel` points x defect seeds x
+  benchmarks, executed on the resilient map
+  (:func:`repro.parallel.resilient_map`) so campaigns survive worker
+  crashes, with every defect-map seed and the mitigation comparison
+  recorded in the run manifest.
+
+CLI: ``python -m repro faults --scale fast``; driver:
+:func:`repro.experiments.fig_faults.run_fig_faults`; docs:
+``docs/robustness.md``.
+"""
+
+from repro.robustness.campaign import (
+    FAST_CAMPAIGN_SCALE,
+    CampaignConfig,
+    CampaignResult,
+    CampaignRow,
+    run_campaign,
+)
+from repro.robustness.mitigation import FaultedMEI, chip_fault_model, fault_aware_saab
+
+__all__ = [
+    "FAST_CAMPAIGN_SCALE",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignRow",
+    "run_campaign",
+    "FaultedMEI",
+    "chip_fault_model",
+    "fault_aware_saab",
+]

@@ -1,0 +1,136 @@
+"""Fault mitigations: spare-column remapping and fault-aware retraining.
+
+Two recovery strategies from the non-ideality-resilient mapping
+literature, adapted to this repository's MEI/SAAB systems:
+
+* **Spare-column remapping** (hardware redundancy): post-test, the
+  worst defective bitlines of every array are steered onto healthy
+  spare columns.  Implemented by
+  :meth:`repro.core.deploy.AnalogMLP.repair_with_spares`; this module
+  only orchestrates it inside campaign rows.
+* **Fault-aware SAAB retraining** (algorithmic): the ensemble is
+  retrained *on the faulty chips*.  Each boosted learner deploys onto
+  a chip with its own static defect map (:class:`FaultedMEI` injects
+  it at every deployment), so Algorithm 1's Line-6 evaluation sees the
+  faults and up-weights fault-sensitive samples exactly as it does for
+  noise-sensitive ones — and the alpha-weighted vote additionally
+  masks whatever a single chip's defects still break.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.core.mei import MEI, MEIConfig
+from repro.core.saab import SAAB, SAABConfig
+from repro.device.faults import FaultModel, InjectionReport, inject_faults_analog_report
+from repro.device.rram import HFOX_DEVICE, RRAMDevice
+from repro.device.variation import IDEAL, NonIdealFactors
+from repro.parallel.seeding import derive_seed
+from repro.xbar.mapping import MappingConfig
+
+__all__ = ["FaultedMEI", "chip_fault_model", "fault_aware_saab"]
+
+_CHIP_SEED_SPACE = 7_000_000
+"""Spawn-key namespace separating per-chip fault seeds from the
+per-array derivation inside one injection (which starts at index 0)."""
+
+
+def chip_fault_model(model: FaultModel, chip: int) -> FaultModel:
+    """The fault model of ensemble chip ``chip``.
+
+    Every physical chip of an ensemble has its *own* defect map, so
+    each learner's model gets an independent spawn-key-derived seed.
+    An unseeded model stays unseeded (fresh logged entropy per chip).
+    """
+    if model.seed is None:
+        return model
+    return dataclasses.replace(
+        model, seed=derive_seed(model.seed, _CHIP_SEED_SPACE + chip)
+    )
+
+
+class FaultedMEI(MEI):
+    """A MEI deployed on a chip with a fixed defect map.
+
+    Every (re)deployment injects ``fault_model`` into the fresh
+    crossbars — the chip's defects are permanent, surviving the
+    retraining cycles of a boosting loop.  The last
+    :class:`~repro.device.faults.InjectionReport` is kept for
+    inspection and manifest capture.
+    """
+
+    def __init__(
+        self,
+        config: MEIConfig,
+        fault_model: FaultModel,
+        mapping_config: Optional[MappingConfig] = None,
+        device: RRAMDevice = HFOX_DEVICE,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.fault_model = fault_model
+        self.last_injection: Optional[InjectionReport] = None
+        super().__init__(config, mapping_config=mapping_config, device=device, seed=seed)
+
+    def deploy(self) -> None:
+        super().deploy()
+        if not self.fault_model.is_clean:
+            self.last_injection = inject_faults_analog_report(
+                self.analog, self.fault_model
+            )
+
+
+def fault_aware_saab(
+    mei_config: MEIConfig,
+    fault_model: FaultModel,
+    n_learners: int,
+    seed: int = 0,
+    noise: NonIdealFactors = IDEAL,
+    compare_bits: int = 5,
+    mapping_config: Optional[MappingConfig] = None,
+    device: RRAMDevice = HFOX_DEVICE,
+) -> SAAB:
+    """An untrained SAAB whose learners live on faulty chips.
+
+    Training it runs Algorithm 1 with the defect maps injected during
+    every boosting round: learner ``k`` trains in software, deploys
+    onto chip ``k`` (whose defects :class:`FaultedMEI` injects), and is
+    evaluated *on that chip* for the Line-6 error that drives the
+    sample re-weighting.  Pass ``noise`` to additionally inject the
+    statistical factors during those evaluations (the paper's SAAB),
+    on top of the hard faults.
+    """
+    if n_learners < 1:
+        raise ValueError(f"n_learners must be >= 1, got {n_learners}")
+
+    def factory(k: int) -> FaultedMEI:
+        return FaultedMEI(
+            mei_config,
+            chip_fault_model(fault_model, k),
+            mapping_config=mapping_config,
+            device=device,
+            seed=seed + 1 + k,
+        )
+
+    return SAAB(
+        factory,
+        SAABConfig(
+            n_learners=n_learners,
+            compare_bits=compare_bits,
+            noise=noise,
+            seed=seed,
+        ),
+    )
+
+
+def predicted_error(
+    system: Any,
+    x: np.ndarray,
+    y: np.ndarray,
+    metric: Callable[[np.ndarray, np.ndarray], float],
+) -> float:
+    """One deterministic evaluation of a deployed system's error."""
+    return float(metric(system.predict(x), y))

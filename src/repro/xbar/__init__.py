@@ -11,6 +11,7 @@ from repro.xbar.mapping import (
 )
 from repro.xbar.mna import MNACrossbar
 from repro.xbar.netlist import crossbar_netlist
+from repro.xbar.redundancy import RemapReport, remap_spare_columns
 from repro.xbar.tiling import TiledDifferentialCrossbar
 
 __all__ = [
@@ -26,6 +27,8 @@ __all__ = [
     "solve_conductances",
     "MNACrossbar",
     "crossbar_netlist",
+    "RemapReport",
+    "remap_spare_columns",
     "TiledDifferentialCrossbar",
     "IRDropPoint",
     "sweep_ir_drop",

@@ -1,0 +1,114 @@
+"""Spare-column redundancy repair for faulty crossbar arrays.
+
+Real RRAM macros ship a few spare bitlines per array; after
+post-fabrication test locates defective cells, the worst logical
+columns are steered onto healthy spares by the column mux (the same
+scheme memory redundancy has used for decades, and the fault-aware
+mapping literature applies to crossbar accelerators).  In the
+behavioural model a remapped column simply gets its *target*
+conductances back: the spare is tested healthy, so programming the
+logical column's targets onto it realizes them exactly.
+
+The repair is deliberately column-granular — a single stuck cell burns
+a whole spare — because that is what the peripheral mux can actually
+switch; cell-granular repair would require per-cell steering hardware
+no crossbar has.  Column-open line failures are the ideal customer:
+one spare recovers an entire dead bitline.
+
+:func:`remap_spare_columns` operates on one single-ended array;
+:meth:`repro.core.deploy.AnalogMLP.repair_with_spares` sweeps a whole
+deployment, spending an independent spare budget per array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.xbar.crossbar import Crossbar
+
+__all__ = ["RemapReport", "remap_spare_columns"]
+
+
+@dataclass
+class RemapReport:
+    """What one array's spare-column repair did."""
+
+    spares_available: int
+    remapped_columns: List[int] = field(default_factory=list)
+    cells_repaired: int = 0
+    cells_unrepaired: int = 0
+
+    @property
+    def spares_used(self) -> int:
+        return len(self.remapped_columns)
+
+    def to_dict(self) -> dict:
+        return {
+            "spares_available": self.spares_available,
+            "remapped_columns": list(self.remapped_columns),
+            "cells_repaired": self.cells_repaired,
+            "cells_unrepaired": self.cells_unrepaired,
+        }
+
+
+def remap_spare_columns(
+    array: Crossbar,
+    defects: np.ndarray,
+    pristine: np.ndarray,
+    spares: int,
+) -> RemapReport:
+    """Steer the worst defective columns of one array onto spares.
+
+    Parameters
+    ----------
+    array:
+        The deployed (faulty) single-ended array; repaired in place.
+    defects:
+        The array's defect map (``DEFECT_*`` classes, shape of the
+        conductance matrix) as returned by the injection.
+    pristine:
+        The pre-injection conductance matrix — the programming targets
+        the spare column realizes.
+    spares:
+        Spare-column budget for this array.  ``0`` is an exact no-op.
+
+    Columns are ranked by defective-cell count (ties broken toward the
+    lower index, deterministically); only columns with at least one
+    defect consume a spare.  Returns the :class:`RemapReport`.
+    """
+    defects = np.asarray(defects)
+    pristine = np.asarray(pristine, dtype=float)
+    if defects.shape != array.conductances.shape:
+        raise ValueError(
+            f"defect map shape {defects.shape} does not match "
+            f"array shape {array.conductances.shape}"
+        )
+    if pristine.shape != array.conductances.shape:
+        raise ValueError(
+            f"pristine snapshot shape {pristine.shape} does not match "
+            f"array shape {array.conductances.shape}"
+        )
+    if spares < 0:
+        raise ValueError(f"spares must be >= 0, got {spares}")
+    per_column = np.count_nonzero(defects, axis=0)
+    report = RemapReport(spares_available=int(spares))
+    if spares == 0 or not per_column.any():
+        report.cells_unrepaired = int(per_column.sum())
+        return report
+    # Stable worst-first ranking: sort by (-count, index).
+    order = np.lexsort((np.arange(per_column.size), -per_column))
+    g = array.conductances.copy()
+    for col in order[:spares]:
+        if per_column[col] == 0:
+            break
+        g[:, col] = pristine[:, col]
+        report.remapped_columns.append(int(col))
+        report.cells_repaired += int(per_column[col])
+    array.conductances = g
+    report.cells_unrepaired = int(per_column.sum()) - report.cells_repaired
+    obs_metrics.counter("spare_columns_remapped").inc(report.spares_used)
+    return report

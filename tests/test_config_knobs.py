@@ -42,6 +42,8 @@ class TestRegistry:
             "REPRO_WORKERS",
             "REPRO_EXECUTOR",
             "REPRO_FULL",
+            "REPRO_TASK_TIMEOUT",
+            "REPRO_TASK_RETRIES",
         }
 
 

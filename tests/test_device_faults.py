@@ -6,7 +6,14 @@ import pytest
 from repro.core.deploy import AnalogMLP
 from repro.core.mei import MEI, MEIConfig
 from repro.core.saab import SAAB, SAABConfig
-from repro.device.faults import FaultModel, inject_faults, inject_faults_analog
+from repro.device.faults import (
+    DEFECT_COL_OPEN,
+    DEFECT_ROW_OPEN,
+    FaultModel,
+    inject_faults,
+    inject_faults_analog,
+    inject_faults_analog_report,
+)
 from repro.device.rram import HFOX_DEVICE
 from repro.nn.network import MLP
 from repro.xbar.crossbar import Crossbar
@@ -29,6 +36,92 @@ class TestFaultModel:
     def test_zero_rate_no_defects(self):
         defects = FaultModel().defect_map((50, 50), np.random.default_rng(0))
         assert not defects.any()
+
+
+class TestLineFailures:
+    def test_row_open_hits_whole_rows(self):
+        model = FaultModel(row_failure_rate=0.2, seed=0)
+        defects = model.defect_map((50, 8), np.random.default_rng(0))
+        open_rows = np.where((defects == DEFECT_ROW_OPEN).any(axis=1))[0]
+        assert open_rows.size > 0
+        for row in open_rows:
+            assert np.all(defects[row] == DEFECT_ROW_OPEN)
+
+    def test_col_open_hits_whole_columns(self):
+        model = FaultModel(col_failure_rate=0.2, seed=0)
+        defects = model.defect_map((8, 50), np.random.default_rng(0))
+        open_cols = np.where((defects == DEFECT_COL_OPEN).any(axis=0))[0]
+        assert open_cols.size > 0
+        for col in open_cols:
+            assert np.all(defects[:, col] == DEFECT_COL_OPEN)
+
+    def test_line_failures_override_cell_classes(self):
+        model = FaultModel(stuck_on_rate=0.4, stuck_off_rate=0.4,
+                           col_failure_rate=0.3, seed=1)
+        defects = model.defect_map((30, 30), np.random.default_rng(1))
+        open_cols = (defects == DEFECT_COL_OPEN).any(axis=0)
+        assert open_cols.any()
+        assert np.all(defects[:, open_cols] == DEFECT_COL_OPEN)
+
+    def test_open_lines_pin_to_g_min(self, rng):
+        g = rng.uniform(HFOX_DEVICE.g_min * 5, HFOX_DEVICE.g_max / 2, (20, 20))
+        xbar = Crossbar(g, g_s=1e-3)
+        defects = inject_faults(
+            xbar, FaultModel(row_failure_rate=0.15, col_failure_rate=0.15, seed=2)
+        )
+        opened = (defects == DEFECT_ROW_OPEN) | (defects == DEFECT_COL_OPEN)
+        assert opened.any()
+        assert np.all(xbar.conductances[opened] == HFOX_DEVICE.g_min)
+
+    def test_line_rate_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(row_failure_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultModel(col_failure_rate=1.5)
+
+
+class TestInjectionReport:
+    def test_report_covers_every_array(self, rng):
+        net = MLP((4, 8, 2), rng=0)
+        analog = AnalogMLP(net)
+        report = inject_faults_analog_report(
+            analog, FaultModel(stuck_on_rate=0.05, stuck_off_rate=0.05, seed=0)
+        )
+        arrays = list(analog.arrays())
+        assert len(report.defect_maps) == len(arrays)
+        assert len(report.array_seeds) == len(arrays)
+        assert report.total_cells == analog.device_count
+        assert 0 < report.observed_rate < 1
+
+    def test_array_seeds_replay_the_maps(self, rng):
+        net = MLP((4, 8, 2), rng=0)
+        analog = AnalogMLP(net)
+        model = FaultModel(stuck_on_rate=0.08, seed=5)
+        report = inject_faults_analog_report(analog, model)
+        for index, (seed, defects) in enumerate(
+            zip(report.array_seeds, report.defect_maps)
+        ):
+            recorded = FaultModel(stuck_on_rate=0.08, seed=seed)
+            replayed = recorded.defect_map(defects.shape, recorded.replay_rng())
+            assert np.array_equal(replayed, defects)
+
+    def test_to_dict_json_safe(self):
+        import json
+
+        net = MLP((4, 6, 2), rng=0)
+        report = inject_faults_analog_report(
+            AnalogMLP(net), FaultModel(stuck_off_rate=0.1, seed=1)
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["base_seed"] == 1
+        assert payload["total_cells"] == report.total_cells
+        assert len(payload["array_seeds"]) == len(report.defect_maps)
+
+    def test_is_clean_and_total_rate(self):
+        assert FaultModel().is_clean
+        assert not FaultModel(row_failure_rate=0.01).is_clean
+        model = FaultModel(stuck_on_rate=0.02, stuck_off_rate=0.03)
+        assert model.total_rate == pytest.approx(0.05)
 
 
 class TestInjectFaults:

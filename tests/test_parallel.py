@@ -201,6 +201,61 @@ class TestNoiseSweepExecutors:
             assert np.array_equal(a.values, b.values)
 
 
+class TestFaultedTrialEquivalence:
+    """Differential tests: the vectorized Monte-Carlo path must stay
+    bit-identical to the serial loop when hard faults are injected —
+    stuck cells change the conductances, never the trial seeding."""
+
+    def _faulted_mei(self, rng, fast_train):
+        from repro.core.mei import MEI, MEIConfig
+        from repro.device.faults import FaultModel, inject_faults_analog_report
+
+        x = rng.uniform(0, 1, (200, 2))
+        y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+        mei = MEI(MEIConfig(2, 1, 12), seed=0).train(x, y, fast_train)
+        inject_faults_analog_report(
+            mei.analog,
+            FaultModel(stuck_on_rate=0.04, stuck_off_rate=0.04,
+                       row_failure_rate=0.02, col_failure_rate=0.02, seed=9),
+        )
+        return mei, x
+
+    def test_forward_trials_matches_serial_loop(self, rng, fast_train):
+        mei, x = self._faulted_mei(rng, fast_train)
+        noise = NonIdealFactors(sigma_pv=0.08, sigma_sf=0.05, seed=11)
+        encoded = mei.encode_inputs(x)
+        stacked = mei.analog.forward_trials(encoded, noise, trials=4)
+        for trial in range(4):
+            serial = mei.analog.forward(encoded, noise, trial=trial)
+            assert np.array_equal(stacked[trial], serial)
+
+    def test_predict_bits_trials_matches_serial_loop(self, rng, fast_train):
+        mei, x = self._faulted_mei(rng, fast_train)
+        noise = NonIdealFactors(sigma_pv=0.08, sigma_sf=0.05, seed=11)
+        stacked = mei.predict_bits_trials(x, noise, trials=4)
+        for trial in range(4):
+            serial = mei.predict_bits(x, noise, trial=trial)
+            assert np.array_equal(stacked[trial], serial)
+
+    def test_faulted_saab_trials_match_serial_loop(self, rng, fast_train):
+        from repro.core.mei import MEIConfig
+        from repro.device.faults import FaultModel
+        from repro.robustness.mitigation import fault_aware_saab
+
+        x = rng.uniform(0, 1, (150, 2))
+        y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+        saab = fault_aware_saab(
+            MEIConfig(2, 1, 12),
+            FaultModel(stuck_on_rate=0.03, stuck_off_rate=0.03, seed=5),
+            n_learners=2, seed=0, compare_bits=4,
+        ).train(x, y, fast_train)
+        noise = NonIdealFactors(sigma_pv=0.05, sigma_sf=0.05, seed=2)
+        stacked = saab.predict_bits_trials(x, noise, trials=3)
+        for trial in range(3):
+            serial = saab.predict_bits(x, noise, trial=trial)
+            assert np.array_equal(stacked[trial], serial)
+
+
 class TestDSEParallelLadder:
     def _setup(self, rng):
         x = rng.uniform(0, 1, (120, 2))

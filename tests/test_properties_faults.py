@@ -1,0 +1,214 @@
+"""Property-based tests for fault injection and redundancy repair.
+
+Hypothesis drives the four contracts the campaign engine stands on:
+
+1. injection is **idempotent** for a fixed seed — the same model
+   produces the same defect map and the same stuck conductances;
+2. injected conductances never leave ``[g_min, g_max]``;
+3. accuracy degradation is **monotone** in the total fault rate
+   (statistically: averaged over defect seeds, with tolerance);
+4. spare-column remapping with **zero spares is an exact no-op**.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.mei import MEI, MEIConfig
+from repro.device.faults import (
+    DEFECT_COL_OPEN,
+    DEFECT_HEALTHY,
+    DEFECT_ROW_OPEN,
+    DEFECT_SA0,
+    DEFECT_SA1,
+    FaultModel,
+    inject_faults,
+    inject_faults_analog_report,
+)
+from repro.device.rram import HFOX_DEVICE
+from repro.nn.trainer import TrainConfig
+from repro.xbar.crossbar import Crossbar
+from repro.xbar.redundancy import remap_spare_columns
+
+_G_MIN, _G_MAX = HFOX_DEVICE.g_min, HFOX_DEVICE.g_max
+
+
+def _shapes():
+    return st.tuples(st.integers(2, 12), st.integers(2, 12))
+
+
+def _conductances():
+    return _shapes().flatmap(
+        lambda shape: hnp.arrays(
+            dtype=np.float64,
+            shape=shape,
+            elements=st.floats(_G_MIN, _G_MAX, allow_nan=False, width=64),
+        )
+    )
+
+
+def _models():
+    return st.builds(
+        FaultModel,
+        stuck_on_rate=st.floats(0.0, 0.4),
+        stuck_off_rate=st.floats(0.0, 0.4),
+        row_failure_rate=st.floats(0.0, 0.3),
+        col_failure_rate=st.floats(0.0, 0.3),
+        seed=st.integers(0, 2**32 - 1),
+    )
+
+
+class TestInjectionIdempotent:
+    @given(g=_conductances(), model=_models())
+    @settings(max_examples=50, deadline=None)
+    def test_same_seed_same_defects_and_conductances(self, g, model):
+        a, b = Crossbar(g.copy(), g_s=1e-3), Crossbar(g.copy(), g_s=1e-3)
+        defects_a = inject_faults(a, model)
+        defects_b = inject_faults(b, model)
+        assert np.array_equal(defects_a, defects_b)
+        assert np.array_equal(a.conductances, b.conductances)
+
+    @given(model=_models(), shape=_shapes())
+    @settings(max_examples=50, deadline=None)
+    def test_defect_map_is_pure_in_seed(self, model, shape):
+        assert np.array_equal(
+            model.defect_map(shape, model.rng(3)),
+            model.defect_map(shape, model.rng(3)),
+        )
+
+    @given(model=_models())
+    @settings(max_examples=25, deadline=None)
+    def test_for_array_materializes_the_stream(self, model):
+        # The manifest-recorded per-array seed replays the same map.
+        direct = model.defect_map((6, 6), model.rng(2))
+        recorded = model.for_array(2)
+        assert np.array_equal(
+            direct, recorded.defect_map((6, 6), recorded.replay_rng())
+        )
+
+
+class TestConductanceBounds:
+    @given(g=_conductances(), model=_models())
+    @settings(max_examples=50, deadline=None)
+    def test_injection_stays_in_device_range(self, g, model):
+        xbar = Crossbar(g, g_s=1e-3)
+        defects = inject_faults(xbar, model)
+        assert np.all(xbar.conductances >= _G_MIN)
+        assert np.all(xbar.conductances <= _G_MAX)
+        assert np.all(xbar.conductances[defects == DEFECT_SA1] == _G_MAX)
+        for cls in (DEFECT_SA0, DEFECT_ROW_OPEN, DEFECT_COL_OPEN):
+            assert np.all(xbar.conductances[defects == cls] == _G_MIN)
+        healthy = defects == DEFECT_HEALTHY
+        assert np.allclose(xbar.conductances[healthy], g[healthy])
+
+
+@functools.lru_cache(maxsize=1)
+def _trained_mei():
+    """One small trained MEI shared by the statistical properties."""
+    rng = np.random.default_rng(12345)
+    x = rng.uniform(0, 1, (500, 2))
+    y = 0.2 + 0.5 * (0.6 * x[:, :1] + 0.4 * x[:, 1:] ** 2)
+    mei = MEI(MEIConfig(2, 1, 16), seed=0).train(
+        x, y, TrainConfig(epochs=30, batch_size=64, learning_rate=0.02,
+                          shuffle_seed=0)
+    )
+    return mei, mei.analog.conductance_snapshot(), x, y
+
+
+def _seed_averaged_error(rate: float, seeds=range(8)) -> float:
+    mei, snapshot, x, y = _trained_mei()
+    values = []
+    for seed in seeds:
+        mei.analog.restore_conductances(snapshot)
+        inject_faults_analog_report(
+            mei.analog,
+            FaultModel(stuck_on_rate=rate / 2, stuck_off_rate=rate / 2,
+                       seed=seed),
+        )
+        values.append(float(np.mean(np.abs(mei.predict(x) - y))))
+    mei.analog.restore_conductances(snapshot)
+    return float(np.mean(values))
+
+
+class TestMonotoneDegradation:
+    @given(
+        rates=st.tuples(st.floats(0.0, 0.25), st.floats(0.0, 0.25))
+        .map(sorted)
+        .filter(lambda pair: pair[1] - pair[0] >= 0.05)
+    )
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.filter_too_much],
+    )
+    def test_error_grows_with_total_rate(self, rates):
+        low, high = rates
+        # Statistical monotonicity: seed-averaged, with slack for the
+        # plateau noise of a small ensemble of defect draws.
+        assert _seed_averaged_error(high) >= _seed_averaged_error(low) - 0.05
+
+    def test_clean_is_the_floor(self):
+        clean = _seed_averaged_error(0.0)
+        assert _seed_averaged_error(0.1) > clean
+        assert _seed_averaged_error(0.3) > clean
+
+
+class TestZeroSparesNoOp:
+    @given(
+        g=_conductances(),
+        seed=st.integers(0, 2**16),
+        rate=st.floats(0.0, 0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_zero_spares_changes_nothing(self, g, seed, rate):
+        xbar = Crossbar(g.copy(), g_s=1e-3)
+        pristine = xbar.conductances.copy()
+        defects = inject_faults(
+            xbar, FaultModel(stuck_on_rate=rate / 2, stuck_off_rate=rate / 2,
+                             seed=seed)
+        )
+        faulted = xbar.conductances.copy()
+        report = remap_spare_columns(xbar, defects, pristine, spares=0)
+        assert np.array_equal(xbar.conductances, faulted)
+        assert report.spares_used == 0
+        assert report.cells_repaired == 0
+        assert report.cells_unrepaired == int(np.count_nonzero(defects))
+
+    @given(g=_conductances(), spares=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_clean_array_consumes_no_spares(self, g, spares):
+        xbar = Crossbar(g.copy(), g_s=1e-3)
+        defects = np.zeros_like(xbar.conductances, dtype=int)
+        before = xbar.conductances.copy()
+        report = remap_spare_columns(xbar, defects, before.copy(), spares)
+        assert report.spares_used == 0
+        assert np.array_equal(xbar.conductances, before)
+
+    @given(g=_conductances(), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_full_budget_restores_pristine(self, g, seed):
+        # Enough spares for every column => the array is fully healed.
+        xbar = Crossbar(g.copy(), g_s=1e-3)
+        pristine = xbar.conductances.copy()
+        defects = inject_faults(
+            xbar, FaultModel(stuck_on_rate=0.2, stuck_off_rate=0.2, seed=seed)
+        )
+        remap_spare_columns(xbar, defects, pristine,
+                            spares=xbar.conductances.shape[1])
+        assert np.array_equal(xbar.conductances, pristine)
+
+
+class TestRemapValidation:
+    def test_shape_mismatch_rejected(self):
+        xbar = Crossbar(np.full((4, 4), _G_MIN), g_s=1e-3)
+        good = np.zeros((4, 4), dtype=int)
+        with pytest.raises(ValueError, match="defect map shape"):
+            remap_spare_columns(xbar, np.zeros((3, 4), dtype=int),
+                                xbar.conductances.copy(), 1)
+        with pytest.raises(ValueError, match="pristine snapshot shape"):
+            remap_spare_columns(xbar, good, np.zeros((4, 5)), 1)
+        with pytest.raises(ValueError, match="spares"):
+            remap_spare_columns(xbar, good, xbar.conductances.copy(), -1)
