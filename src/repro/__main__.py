@@ -16,6 +16,7 @@ Usage::
     python -m repro report                # trajectory report (md + HTML)
     python -m repro summary               # collate archived bench tables
     python -m repro lint [--json]         # repro-lint invariant checker
+    python -m repro profile [--json]      # ranked span hot-spot report
     python -m repro --version
 
 Add ``--full`` for the paper-scale budgets (10k train samples, 400
@@ -101,6 +102,17 @@ def _run_bench(args, scale) -> int:
             extra={"fields": {"path": os.fspath(history_file)}},
         )
     if args.write_baseline:
+        sha = entry.get("git_sha")
+        dirty = runinfo.git_dirty()
+        if (sha is None or dirty is not False) and not args.allow_dirty:
+            state = "unknown" if sha is None or dirty is None else "dirty"
+            print(
+                f"refusing --write-baseline: git checkout is {state}, so the "
+                f"baseline would not be attributable to a commit; commit your "
+                f"changes or pass --allow-dirty",
+                file=sys.stderr,
+            )
+            return 2
         baseline = write_baseline(entry)
         _log.info(
             "baseline snapshot written",
@@ -189,6 +201,112 @@ def _run_faults(args) -> int:
     return 0
 
 
+def _experiment_runners(args, scale):
+    """Figure/table runners keyed by experiment name."""
+    return {
+        "fig2": lambda: run_fig2().render(),
+        "fig3": lambda: run_fig3(scale=scale, seed=args.seed).render(),
+        "table1": lambda: _table1(args, scale),
+        "fig4": lambda: run_fig4(scale=scale, seed=args.seed).render(),
+        "fig5": lambda: run_fig5(scale=scale, seed=args.seed).render(),
+        "bitlength": lambda: run_bitlength(scale=scale, seed=args.seed).render(),
+    }
+
+
+def _run_profile(args, scale) -> int:
+    """Build the ranked hot-spot report (``docs/performance.md``).
+
+    Source resolution: ``--manifest`` > ``--fresh`` > newest
+    span-bearing manifest in the run directory > latest history entry.
+    Exits 2 when no span data can be found (or when ``--check`` finds
+    the report unusable), so CI can smoke-test the profiling pipeline.
+    """
+    from repro.config import knobs
+    from repro.obs import profile as obs_profile
+    from repro.obs.history import latest_entry, load_history
+
+    hotspots = []
+    source = "none"
+    experiment = None
+
+    def _from_manifest(path) -> bool:
+        nonlocal hotspots, source, experiment
+        try:
+            manifest = json.loads(open(path, encoding="utf-8").read())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"profile: cannot read manifest {path}: {exc}", file=sys.stderr)
+            return False
+        tree = manifest.get("span_tree") if isinstance(manifest, dict) else None
+        if not isinstance(tree, dict):
+            print(f"profile: {path} has no span_tree", file=sys.stderr)
+            return False
+        hotspots = obs_profile.hotspots_from_tree(tree)
+        source = f"manifest:{path}"
+        experiment = manifest.get("experiment")
+        return True
+
+    if args.manifest:
+        if not _from_manifest(args.manifest):
+            return 2
+    elif args.fresh:
+        obs_trace.enable(True)
+        obs_trace.clear()
+        obs_metrics.clear()
+        runners = _experiment_runners(args, scale)
+        with span("profile", experiment=args.fresh):
+            runners[args.fresh]()
+        hotspots = obs_profile.hotspots_from_records(obs_trace.get_records())
+        source = f"fresh:{args.fresh}"
+        experiment = args.fresh
+    else:
+        run_dir = args.run_dir or knobs.get_path("REPRO_RUN_DIR") or "runs"
+        manifest_path = obs_profile.latest_manifest_path(run_dir)
+        if manifest_path is not None:
+            if not _from_manifest(manifest_path):
+                return 2
+        else:
+            from repro.obs.history import history_path
+
+            history = load_history(args.history)
+            entry = latest_entry(history)
+            if entry is not None:
+                hotspots = obs_profile.hotspots_from_flat_metrics(
+                    entry.get("metrics") or {}
+                )
+                source = (
+                    f"history:{history_path(args.history)}"
+                    f"@{str(entry.get('git_sha', ''))[:12]}"
+                )
+                experiment = str(entry.get("kind", "")) or None
+
+    report = obs_profile.build_report(hotspots, source=source, experiment=experiment)
+    if not hotspots:
+        print(
+            "profile: no span data found — run an experiment with --trace "
+            "(or REPRO_TRACE=1), `python -m repro bench`, or pass --fresh/--manifest",
+            file=sys.stderr,
+        )
+        return 2
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(obs_profile.render_html(report))
+        _log.info("profile html written", extra={"fields": {"path": args.html}})
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(obs_profile.render_text(report, top=args.top))
+    if args.check:
+        top = report["hotspots"][0]
+        if not top["path"] or float(report["total_seconds"]) <= 0.0:
+            print(
+                "profile --check: top span is unattributed or report has no "
+                "wall time",
+                file=sys.stderr,
+            )
+            return 2
+    return 0
+
+
 def _run_lint(args) -> int:
     from repro.lintrules import engine
     from repro.lintrules.rules import rule_catalogue
@@ -216,13 +334,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=["fig2", "fig3", "table1", "fig4", "fig5", "bitlength",
-                 "faults", "bench", "compare", "report", "summary", "lint", "all"],
+                 "faults", "bench", "compare", "report", "summary", "lint",
+                 "profile", "all"],
         help="artifact to regenerate, or a trajectory command: 'faults' runs the "
              "stuck-at fault-injection campaign (manifest always written), 'bench' "
              "runs the benchmark suite and appends to the run history, 'compare' "
              "gates the latest entry against a baseline, 'report' renders the "
              "trajectory (markdown + HTML), 'summary' collates archived bench "
-             "tables, 'lint' runs the repro-lint invariant checker over the package",
+             "tables, 'lint' runs the repro-lint invariant checker over the package, "
+             "'profile' ranks span hot-spots from manifests/history/a fresh run",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     parser.add_argument("--full", action="store_true",
@@ -259,7 +379,11 @@ def main(argv=None) -> int:
     parser.add_argument("--list-rules", action="store_true",
                         help="lint: print the RPR rule catalogue and exit")
     parser.add_argument("--write-baseline", action="store_true",
-                        help="bench: also write the entry to benchmarks/baseline.json")
+                        help="bench: also write the entry to benchmarks/baseline.json "
+                             "(refused on a dirty/unknown git checkout)")
+    parser.add_argument("--allow-dirty", action="store_true",
+                        help="bench: let --write-baseline proceed despite a "
+                             "dirty/unknown git checkout")
     parser.add_argument("--scale", default="fast", choices=["fast", "quick", "full"],
                         help="faults: campaign budget (default fast; --full is "
                              "ignored by 'faults' in favour of this)")
@@ -271,6 +395,19 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None, metavar="DIR",
                         help="report: output directory for report.md/report.html "
                              "(default 'runs/')")
+    parser.add_argument("--top", type=int, default=15, metavar="N",
+                        help="profile: number of hot-spot rows to print (default 15)")
+    parser.add_argument("--manifest", default=None, metavar="PATH",
+                        help="profile: read spans from this run manifest")
+    parser.add_argument("--fresh", default=None, metavar="EXPERIMENT",
+                        choices=["fig2", "fig3", "table1", "fig4", "fig5", "bitlength"],
+                        help="profile: run this experiment with tracing on and "
+                             "profile its spans")
+    parser.add_argument("--html", default=None, metavar="PATH",
+                        help="profile: also write a self-contained HTML report")
+    parser.add_argument("--check", action="store_true",
+                        help="profile: exit non-zero when the report is empty or "
+                             "the top span is unattributed (CI smoke test)")
     args = parser.parse_args(argv)
     scale = FULL_SCALE if args.full else QUICK_SCALE
 
@@ -296,17 +433,12 @@ def main(argv=None) -> int:
         return _run_lint(args)
     if args.experiment == "faults":
         return _run_faults(args)
+    if args.experiment == "profile":
+        return _run_profile(args, scale)
 
     write_manifests = obs_trace.enabled() or args.run_dir is not None
 
-    runners = {
-        "fig2": lambda: run_fig2().render(),
-        "fig3": lambda: run_fig3(scale=scale, seed=args.seed).render(),
-        "table1": lambda: _table1(args, scale),
-        "fig4": lambda: run_fig4(scale=scale, seed=args.seed).render(),
-        "fig5": lambda: run_fig5(scale=scale, seed=args.seed).render(),
-        "bitlength": lambda: run_bitlength(scale=scale, seed=args.seed).render(),
-    }
+    runners = _experiment_runners(args, scale)
     names = list(runners) if args.experiment == "all" else [args.experiment]
     for name in names:
         _log.info(

@@ -281,6 +281,22 @@ register(
     "Run experiments at the paper-scale budgets instead of the quick ones.",
 )
 register(
+    "REPRO_DTYPE",
+    "enum",
+    "float64",
+    "Floating dtype of the deterministic data path (nn / xbar / quant). "
+    "`float32` halves memory traffic at ~1e-6 relative accuracy cost; "
+    "float64 keeps every equivalence test bit-exact.",
+    choices=("float64", "float32"),
+)
+register(
+    "REPRO_SHM",
+    "bool",
+    "0",
+    "Ship large arrays to process-pool workers via POSIX shared memory "
+    "(zero-copy views) instead of pickling them into every task.",
+)
+register(
     "REPRO_TASK_TIMEOUT",
     "float",
     None,

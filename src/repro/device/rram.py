@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
+
 __all__ = ["RRAMDevice", "HFOX_DEVICE"]
 
 
@@ -73,7 +75,7 @@ class RRAMDevice:
 
     def clip_conductance(self, g: np.ndarray) -> np.ndarray:
         """Clip conductances into the device's programmable window."""
-        return np.clip(np.asarray(g, dtype=float), self.g_min, self.g_max)
+        return np.clip(_astype(g), self.g_min, self.g_max)
 
     def discretize(self, g: np.ndarray) -> np.ndarray:
         """Snap conductances to the nearest programmable level.
@@ -92,7 +94,7 @@ class RRAMDevice:
 
     def weight_to_conductance(self, w: np.ndarray) -> np.ndarray:
         """Map weights in ``[0, 1]`` linearly onto the conductance window."""
-        w = np.clip(np.asarray(w, dtype=float), 0.0, 1.0)
+        w = np.clip(_astype(w), 0.0, 1.0)
         return self.g_min + w * (self.g_max - self.g_min)
 
 

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 from typing import Dict, Optional, Sequence, Tuple
 
 from repro.experiments.runner import ExperimentScale, default_scale, format_table
 from repro.experiments.table1 import Table1Result, calibrated_params, run_benchmark_row
 from repro.obs import history as obs_history
 from repro.obs import metrics as obs_metrics
+from repro.obs import runinfo
 from repro.obs import trace as obs_trace
 from repro.obs.log import get_logger
 from repro.obs.trace import span
@@ -81,6 +83,22 @@ def run_bench(
         scale=scale.name,
         benchmarks=names,
     )
+    # Provenance staleness guard: an entry recorded from a dirty or
+    # unknown checkout carries a git_sha that does not describe the
+    # code that produced the numbers.  The entry is still appended
+    # (local iteration needs it) but the condition is loud, and the
+    # CLI refuses to promote such an entry to the committed baseline.
+    sha = entry.get("git_sha")
+    dirty = runinfo.git_dirty()
+    if sha is None or dirty is not False:
+        state = "unknown" if sha is None or dirty is None else "dirty"
+        warnings.warn(
+            f"bench provenance is stale: git checkout is {state}; the recorded "
+            f"git_sha does not identify the measured code (commit first, or "
+            f"treat this entry as throwaway)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     target: Optional[pathlib.Path] = None
     if append:
         target = obs_history.append_entry(entry, history_path)

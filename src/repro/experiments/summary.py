@@ -38,6 +38,7 @@ REPORT_ORDER = (
     "ext_variation_aware",
     "tradeoff_kmeans",
     "bench_parallel",
+    "bench_hotpath",
 )
 
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
+
 __all__ = ["Activation", "Sigmoid", "Tanh", "Relu", "Identity", "get_activation"]
 
 
@@ -66,7 +68,7 @@ class Relu(Activation):
         return np.maximum(x, 0.0)
 
     def backward(self, x: np.ndarray) -> np.ndarray:
-        return (x > 0.0).astype(float)
+        return _astype(x > 0.0)
 
 
 class Identity(Activation):
@@ -75,10 +77,10 @@ class Identity(Activation):
     name = "identity"
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        return np.asarray(x, dtype=float)
+        return _astype(x)
 
     def backward(self, x: np.ndarray) -> np.ndarray:
-        return np.ones_like(np.asarray(x, dtype=float))
+        return np.ones_like(_astype(x))
 
 
 _REGISTRY = {cls.name: cls for cls in (Sigmoid, Tanh, Relu, Identity)}

@@ -14,6 +14,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
 from repro.parallel.seeding import ensure_rng
 
 __all__ = ["train_test_split", "UnitScaler", "resample", "minibatches"]
@@ -53,8 +54,8 @@ class UnitScaler:
     margin: float = 0.0
 
     def __post_init__(self) -> None:
-        self.low = np.atleast_1d(np.asarray(self.low, dtype=float))
-        self.high = np.atleast_1d(np.asarray(self.high, dtype=float))
+        self.low = np.atleast_1d(_astype(self.low))
+        self.high = np.atleast_1d(_astype(self.high))
         if self.low.shape != self.high.shape:
             raise ValueError("low/high shape mismatch")
         if np.any(self.high <= self.low):
@@ -65,7 +66,7 @@ class UnitScaler:
     @classmethod
     def from_data(cls, values: np.ndarray, margin: float = 0.0) -> "UnitScaler":
         """Fit the range from observed data columns."""
-        values = np.atleast_2d(np.asarray(values, dtype=float))
+        values = np.atleast_2d(_astype(values))
         low = values.min(axis=0)
         high = values.max(axis=0)
         # Guard degenerate constant columns.
@@ -75,13 +76,13 @@ class UnitScaler:
 
     def transform(self, values: np.ndarray) -> np.ndarray:
         """Engineering units -> unit interval."""
-        values = np.asarray(values, dtype=float)
+        values = _astype(values)
         unit = (values - self.low) / (self.high - self.low)
         return self.margin + unit * (1.0 - 2.0 * self.margin)
 
     def inverse(self, unit: np.ndarray) -> np.ndarray:
         """Unit interval -> engineering units."""
-        unit = np.asarray(unit, dtype=float)
+        unit = _astype(unit)
         core = (unit - self.margin) / (1.0 - 2.0 * self.margin)
         return self.low + core * (self.high - self.low)
 

@@ -1,0 +1,328 @@
+"""Batched ensemble training: K members, one stacked matmul per layer.
+
+SAAB sweeps, seed-repeat studies and DSE candidate ladders all train
+*independent* MLPs of identical topology — historically with a Python
+loop over members, paying K trips through the interpreter per
+minibatch.  This module stacks the members' parameters into
+``(K, in, out)`` arrays and drives the whole ensemble through each
+forward/backprop step with one batched :func:`numpy.matmul` per layer.
+
+Bit-identity contract (the same invariant the Monte-Carlo
+vectorization of ``docs/performance.md`` relies on): a stacked
+``(K, b, i) @ (K, i, o)`` matmul performs the same per-slice dgemm the
+2-D member loop would, the optimizer updates are elementwise, and each
+member consumes its *own* shuffle generator exactly as
+:class:`repro.nn.trainer.Trainer` does (one permutation per epoch).
+Training K members batched therefore produces float64 weights **bit
+identical** to K serial :meth:`Trainer.fit` calls with matching seeds
+— asserted by ``tests/test_nn_ensemble.py`` and the Hypothesis
+property suite.
+
+Boosting itself cannot be batched (each SAAB round's sample weights
+depend on the previous round's error); what this buys is the *within
+round* / *across sweep* parallelism: training many learners on
+differently-weighted copies of the same data at once.
+
+Unsupported (``ValueError``): ``patience`` (early stopping branches
+per member) and ``weight_noise_sigma`` (would interleave RNG streams);
+use the serial trainer for those.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, cast
+
+import numpy as np
+
+from repro.config.dtype import astype as _astype
+from repro.nn.layers import DenseLayer
+from repro.nn.losses import Loss, WeightedMSE
+from repro.nn.network import MLP
+from repro.nn.trainer import TrainConfig, TrainResult
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+
+__all__ = ["EnsembleTrainer", "train_ensemble"]
+
+
+class _StackedLayer:
+    """One layer of the whole ensemble: member axis first.
+
+    Exposes the same ``params()``/``grads()`` surface as
+    :class:`DenseLayer`, so the *unmodified* optimizer implementations
+    update the stacked arrays — their math is elementwise, hence
+    per-member identical to the serial path by construction.
+    """
+
+    __slots__ = ("weights", "bias", "activation", "grad_weights", "grad_bias",
+                 "_x", "_pre")
+
+    def __init__(self, weights: np.ndarray, bias: np.ndarray, activation) -> None:
+        self.weights = weights  # (K, in, out)
+        self.bias = bias  # (K, out)
+        self.activation = activation
+        self._x: Optional[np.ndarray] = None
+        self._pre: Optional[np.ndarray] = None
+
+    def params(self) -> Dict[str, np.ndarray]:
+        return {"weights": self.weights, "bias": self.bias}
+
+    def grads(self) -> Dict[str, np.ndarray]:
+        return {"weights": self.grad_weights, "bias": self.grad_bias}
+
+
+def _stack_models(models: Sequence[MLP]) -> List[_StackedLayer]:
+    first = models[0]
+    for model in models[1:]:
+        if model.layer_sizes != first.layer_sizes:
+            raise ValueError(
+                f"ensemble members must share a topology: "
+                f"{model.layer_sizes} vs {first.layer_sizes}"
+            )
+        for layer, ref in zip(model.layers, first.layers):
+            if type(layer.activation) is not type(ref.activation):
+                raise ValueError("ensemble members must share activations per layer")
+    stacked = []
+    for index, ref in enumerate(first.layers):
+        weights = np.stack([m.layers[index].weights for m in models])
+        bias = np.stack([m.layers[index].bias for m in models])
+        stacked.append(_StackedLayer(weights, bias, type(ref.activation)()))
+    return stacked
+
+
+def _unstack_into(models: Sequence[MLP], stacks: Sequence[_StackedLayer]) -> None:
+    for k, model in enumerate(models):
+        for layer, stacked in zip(model.layers, stacks):
+            layer.weights = stacked.weights[k].copy()
+            layer.bias = stacked.bias[k].copy()
+
+
+def _forward(stacks: Sequence[_StackedLayer], x: np.ndarray,
+             train: bool = False) -> np.ndarray:
+    """Ensemble forward; ``x`` is ``(K, b, in)`` or a shared ``(b, in)``."""
+    out = x
+    for layer in stacks:
+        pre = np.matmul(out, layer.weights) + layer.bias[:, None, :]
+        if train:
+            layer._x = out
+            layer._pre = pre
+        out = layer.activation.forward(pre)
+    return out
+
+
+def _backward(stacks: Sequence[_StackedLayer], grad: np.ndarray) -> None:
+    for layer in reversed(stacks):
+        if layer._x is None or layer._pre is None:
+            raise RuntimeError("_backward() called before _forward(train=True)")
+        delta = grad * layer.activation.backward(layer._pre)
+        x = layer._x
+        if x.ndim == 2:  # shared input broadcast across members
+            x = np.broadcast_to(x, (delta.shape[0],) + x.shape)
+        layer.grad_weights = np.matmul(x.transpose(0, 2, 1), delta)
+        layer.grad_bias = delta.sum(axis=1)
+        grad = np.matmul(delta, layer.weights.transpose(0, 2, 1))
+
+
+class EnsembleTrainer:
+    """Train K same-topology MLPs in lockstep with batched linear algebra.
+
+    Parameters
+    ----------
+    loss:
+        A :class:`WeightedMSE` shared by all members (Eq. 4/5); the
+        batched gradient needs its closed form, so other ``Loss``
+        subclasses are rejected.
+    config:
+        Shared hyper-parameters (one :class:`TrainConfig` for the whole
+        ensemble).  ``patience`` and ``weight_noise_sigma`` must be 0.
+    """
+
+    def __init__(self, loss: Optional[Loss] = None,
+                 config: Optional[TrainConfig] = None):
+        loss = loss if loss is not None else WeightedMSE()
+        if not isinstance(loss, WeightedMSE):
+            raise ValueError(
+                "EnsembleTrainer batches the WeightedMSE closed form; got "
+                f"{type(loss).__name__} (use the serial Trainer instead)"
+            )
+        self.loss = loss
+        self.config = config if config is not None else TrainConfig()
+        if self.config.patience:
+            raise ValueError(
+                "early stopping (patience > 0) branches per member and cannot "
+                "be batched; use the serial Trainer"
+            )
+        if self.config.weight_noise_sigma > 0:
+            raise ValueError(
+                "weight_noise_sigma > 0 would interleave per-member RNG streams; "
+                "use the serial Trainer"
+            )
+
+    def fit(
+        self,
+        models: Sequence[MLP],
+        x: np.ndarray,
+        y: np.ndarray,
+        x_val: Optional[np.ndarray] = None,
+        y_val: Optional[np.ndarray] = None,
+        sample_weights: Optional[np.ndarray] = None,
+        shuffle_seeds: Optional[Sequence[Optional[int]]] = None,
+    ) -> List[TrainResult]:
+        """Train every member in place; return one history per member.
+
+        ``sample_weights`` may be shared ``(n,)`` or per-member
+        ``(K, n)`` (how SAAB would batch a round's reweighted
+        learners); ``shuffle_seeds`` gives each member its own
+        minibatch stream (default: ``config.shuffle_seed`` for all).
+        ``epoch_seconds`` on every returned result holds the *shared*
+        ensemble wall clock — the members train simultaneously.
+        """
+        models = list(models)
+        if not models:
+            raise ValueError("need at least one ensemble member")
+        n_members = len(models)
+        x = _astype(x)
+        y = _astype(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"x and y lengths differ: {x.shape[0]} vs {y.shape[0]}")
+        if x.shape[1] != models[0].in_dim:
+            raise ValueError(
+                f"x has {x.shape[1]} features, model expects {models[0].in_dim}"
+            )
+        if y.shape[1] != models[0].out_dim:
+            raise ValueError(
+                f"y has {y.shape[1]} ports, model expects {models[0].out_dim}"
+            )
+        weights_stack = None
+        if sample_weights is not None:
+            sample_weights = _astype(sample_weights)
+            if sample_weights.ndim == 1:
+                weights_stack = np.broadcast_to(
+                    sample_weights, (n_members, sample_weights.shape[0])
+                )
+            elif sample_weights.ndim == 2:
+                weights_stack = sample_weights
+            else:
+                raise ValueError("sample_weights must be (n,) or (K, n)")
+            if weights_stack.shape != (n_members, x.shape[0]):
+                raise ValueError(
+                    f"sample_weights shape {sample_weights.shape} does not match "
+                    f"{n_members} members x {x.shape[0]} samples"
+                )
+        if shuffle_seeds is None:
+            shuffle_seeds = [self.config.shuffle_seed] * n_members
+        if len(shuffle_seeds) != n_members:
+            raise ValueError(
+                f"got {len(shuffle_seeds)} shuffle seeds for {n_members} members"
+            )
+        if x_val is not None and y_val is not None:
+            x_val = _astype(x_val)
+            y_val = _astype(y_val)
+
+        stacks = _stack_models(models)
+        from repro.nn.optimizers import get_optimizer
+
+        optimizer = get_optimizer(
+            self.config.optimizer, learning_rate=self.config.learning_rate
+        )
+        # Same consumption pattern as Trainer.fit: one generator per
+        # member, one permutation drawn per epoch.
+        rngs = [np.random.default_rng(seed) for seed in shuffle_seeds]
+        results = [TrainResult() for _ in range(n_members)]
+        n = x.shape[0]
+        batch = self.config.batch_size
+        member_rows = np.arange(n_members)[:, None]
+
+        with span(
+            "train_ensemble",
+            members=n_members,
+            epochs=self.config.epochs,
+            samples=int(n),
+            layers=list(models[0].layer_sizes),
+        ) as sp:
+            for epoch in range(self.config.epochs):
+                epoch_start = time.perf_counter()
+                if (
+                    self.config.lr_decay_every
+                    and epoch
+                    and epoch % self.config.lr_decay_every == 0
+                ):
+                    optimizer.learning_rate *= self.config.lr_decay
+                perms = np.stack([rng.permutation(n) for rng in rngs])
+                for start in range(0, n, batch):
+                    idx = perms[:, start : start + batch]  # (K, b)
+                    xb = x[idx]
+                    yb = y[idx]
+                    wb = (
+                        weights_stack[member_rows, idx]
+                        if weights_stack is not None
+                        else None
+                    )
+                    pred = _forward(stacks, xb, train=True)
+                    grad = self._gradient(pred, yb, wb)
+                    _backward(stacks, grad)
+                    if self.config.l2 > 0:
+                        for layer in stacks:
+                            layer.grad_weights += self.config.l2 * layer.weights
+                    optimizer.step(cast(List[DenseLayer], stacks))
+
+                epoch_seconds = time.perf_counter() - epoch_start
+                logged = (epoch + 1) % self.config.log_every == 0 or (
+                    epoch + 1 == self.config.epochs
+                )
+                if self.config.track_train_loss and logged:
+                    pred = _forward(stacks, x)
+                    for k, result in enumerate(results):
+                        wk = weights_stack[k] if weights_stack is not None else None
+                        result.train_losses.append(self.loss.value(pred[k], y, wk))
+                if x_val is not None and y_val is not None:
+                    pred = _forward(stacks, x_val)
+                    for k, result in enumerate(results):
+                        result.val_losses.append(self.loss.value(pred[k], y_val))
+                for result in results:
+                    result.epochs_run = epoch + 1
+                    result.epoch_seconds.append(epoch_seconds)
+
+            sp.set(
+                epochs_run=self.config.epochs,
+                ensemble_seconds=round(float(sum(results[0].epoch_seconds)), 6),
+            )
+
+        _unstack_into(models, stacks)
+        obs_metrics.counter("ensemble_train_runs").inc()
+        obs_metrics.counter("ensemble_train_members").inc(n_members)
+        obs_metrics.counter("ensemble_train_epochs").inc(self.config.epochs)
+        obs_metrics.histogram("ensemble_epoch_seconds").observe_many(
+            results[0].epoch_seconds
+        )
+        return results
+
+    def _gradient(
+        self,
+        pred: np.ndarray,
+        target: np.ndarray,
+        sample_weights: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Batched Eq. 5 gradient — same operation order as WeightedMSE."""
+        sq = self.loss._sq_weights(pred.shape[-1])
+        grad = 2.0 * (pred - target) * sq / pred.shape[1]
+        if sample_weights is not None:
+            grad = grad * sample_weights[:, :, None]
+        return grad
+
+
+def train_ensemble(
+    models: Sequence[MLP],
+    x: np.ndarray,
+    y: np.ndarray,
+    loss: Optional[Loss] = None,
+    config: Optional[TrainConfig] = None,
+    sample_weights: Optional[np.ndarray] = None,
+    shuffle_seeds: Optional[Sequence[Optional[int]]] = None,
+) -> List[TrainResult]:
+    """Convenience wrapper: build an :class:`EnsembleTrainer` and fit."""
+    trainer = EnsembleTrainer(loss=loss, config=config)
+    return trainer.fit(
+        models, x, y, sample_weights=sample_weights, shuffle_seeds=shuffle_seeds
+    )

@@ -12,6 +12,7 @@ from typing import Callable, Dict, Optional
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
 from repro.nn.activations import Activation, get_activation
 from repro.nn.initializers import xavier_uniform
 from repro.parallel.seeding import ensure_rng
@@ -52,15 +53,15 @@ class DenseLayer:
         self.out_dim = out_dim
         self.activation = activation
         rng = ensure_rng(rng, "nn.DenseLayer")
-        self.weights = weight_init(rng, in_dim, out_dim)
-        self.bias = np.zeros(out_dim)
+        self.weights = _astype(weight_init(rng, in_dim, out_dim))
+        self.bias = np.zeros(out_dim, dtype=self.weights.dtype)
         # Backprop caches, populated by forward(train=True).
         self._x: Optional[np.ndarray] = None
         self._pre: Optional[np.ndarray] = None
 
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
         """Run the layer; cache inputs/pre-activations when training."""
-        x = np.asarray(x, dtype=float)
+        x = _astype(x)
         pre = x @ self.weights + self.bias
         if train:
             self._x = x

@@ -19,13 +19,16 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.config.dtype import active_dtype
+from repro.config.dtype import astype as _astype
+
 __all__ = ["Loss", "WeightedMSE", "mse"]
 
 
 def mse(predicted: np.ndarray, target: np.ndarray) -> float:
     """Plain mean squared error over all samples and ports."""
-    predicted = np.asarray(predicted, dtype=float)
-    target = np.asarray(target, dtype=float)
+    predicted = _astype(predicted)
+    target = _astype(target)
     if predicted.shape != target.shape:
         raise ValueError(f"shape mismatch: {predicted.shape} vs {target.shape}")
     return float(np.mean((predicted - target) ** 2))
@@ -63,7 +66,7 @@ class WeightedMSE(Loss):
 
     def __init__(self, port_weights: Optional[np.ndarray] = None):
         if port_weights is not None:
-            port_weights = np.asarray(port_weights, dtype=float)
+            port_weights = _astype(port_weights)
             if port_weights.ndim != 1:
                 raise ValueError("port_weights must be a 1-D array")
             if np.any(port_weights < 0):
@@ -72,7 +75,7 @@ class WeightedMSE(Loss):
 
     def _sq_weights(self, n_ports: int) -> np.ndarray:
         if self.port_weights is None:
-            return np.ones(n_ports)
+            return np.ones(n_ports, dtype=active_dtype())
         if self.port_weights.shape[0] != n_ports:
             raise ValueError(
                 f"loss has {self.port_weights.shape[0]} port weights "
@@ -82,8 +85,8 @@ class WeightedMSE(Loss):
 
     @staticmethod
     def _check(predicted: np.ndarray, target: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        predicted = np.asarray(predicted, dtype=float)
-        target = np.asarray(target, dtype=float)
+        predicted = _astype(predicted)
+        target = _astype(target)
         if predicted.shape != target.shape:
             raise ValueError(f"shape mismatch: {predicted.shape} vs {target.shape}")
         if predicted.ndim != 2:
@@ -100,7 +103,7 @@ class WeightedMSE(Loss):
         sq = self._sq_weights(predicted.shape[1])
         per_sample = ((predicted - target) ** 2) @ sq
         if sample_weights is not None:
-            per_sample = per_sample * np.asarray(sample_weights, dtype=float)
+            per_sample = per_sample * _astype(sample_weights)
         return float(np.mean(per_sample))
 
     def gradient(
@@ -113,5 +116,5 @@ class WeightedMSE(Loss):
         sq = self._sq_weights(predicted.shape[1])
         grad = 2.0 * (predicted - target) * sq / predicted.shape[0]
         if sample_weights is not None:
-            grad = grad * np.asarray(sample_weights, dtype=float)[:, None]
+            grad = grad * _astype(sample_weights)[:, None]
         return grad

@@ -12,6 +12,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
 from repro.nn.layers import DenseLayer
 from repro.parallel.seeding import ensure_rng
 
@@ -67,7 +68,7 @@ class MLP:
 
     def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
         """Run the full network on a batch ``(n, in_dim)``."""
-        out = np.asarray(x, dtype=float)
+        out = _astype(x)
         for layer in self.layers:
             out = layer.forward(out, train=train)
         return out

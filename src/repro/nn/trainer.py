@@ -15,6 +15,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
 from repro.nn.datasets import minibatches
 from repro.nn.losses import Loss, WeightedMSE
 from repro.nn.network import MLP
@@ -141,8 +142,8 @@ class Trainer:
         sample_weights: Optional[np.ndarray] = None,
     ) -> TrainResult:
         """Train ``model`` in place and return the loss history."""
-        x = np.asarray(x, dtype=float)
-        y = np.asarray(y, dtype=float)
+        x = _astype(x)
+        y = _astype(y)
         if x.shape[0] != y.shape[0]:
             raise ValueError(f"x and y lengths differ: {x.shape[0]} vs {y.shape[0]}")
         if x.shape[1] != model.in_dim:
@@ -150,7 +151,7 @@ class Trainer:
         if y.shape[1] != model.out_dim:
             raise ValueError(f"y has {y.shape[1]} ports, model expects {model.out_dim}")
         if sample_weights is not None:
-            sample_weights = np.asarray(sample_weights, dtype=float)
+            sample_weights = _astype(sample_weights)
             if sample_weights.shape[0] != x.shape[0]:
                 raise ValueError("sample_weights length mismatch")
 
@@ -208,7 +209,7 @@ class Trainer:
 
                 stop = False
                 if x_val is not None and y_val is not None:
-                    val = self.loss.value(model.predict(x_val), np.asarray(y_val, dtype=float))
+                    val = self.loss.value(model.predict(x_val), _astype(y_val))
                     result.val_losses.append(val)
                     if self.config.patience:
                         if val < best_val - self.config.min_delta:

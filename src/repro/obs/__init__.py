@@ -15,7 +15,9 @@ The pillars (see ``docs/observability.md`` and ``docs/benchmarking.md``):
 * :mod:`repro.obs.compare` — the tolerance-aware regression gate
   (baseline resolution, machine-readable verdicts, CI exit codes);
 * :mod:`repro.obs.report` — markdown/HTML trajectory reports with
-  per-metric sparklines and a slowest-spans summary.
+  per-metric sparklines and a slowest-spans summary;
+* :mod:`repro.obs.profile` — ranked hot-spot reports (exclusive vs
+  inclusive span time) behind ``python -m repro profile``.
 
 Everything is dependency-free (stdlib only) and safe to import from
 any layer of the package.
@@ -43,6 +45,12 @@ from repro.obs.metrics import (
     gauge,
     histogram,
     reset,
+)
+from repro.obs.profile import (
+    HotSpot,
+    hotspots_from_flat_metrics,
+    hotspots_from_records,
+    hotspots_from_tree,
 )
 from repro.obs.report import render_html, render_markdown, write_report
 from repro.obs.runinfo import (
@@ -90,6 +98,10 @@ __all__ = [
     "span",
     "span_tree",
     "render_tree",
+    "HotSpot",
+    "hotspots_from_tree",
+    "hotspots_from_records",
+    "hotspots_from_flat_metrics",
     "build_manifest",
     "environment_info",
     "provenance_header",

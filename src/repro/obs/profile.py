@@ -1,0 +1,250 @@
+"""Ranked hot-spot reports from span telemetry (``repro profile``).
+
+The optimization loop this repository runs on is *measure first*: every
+experiment already records a span tree (``--trace`` / ``REPRO_TRACE``)
+and every ``bench`` run archives flattened ``span.*`` wall-clock totals
+in the run history.  This module turns any of those artifacts into a
+ranked hot-spot table so "what should we speed up next?" is one command
+instead of manifest spelunking:
+
+* **inclusive seconds** — total wall time inside a span path (what the
+  span tree already shows);
+* **exclusive seconds** — inclusive time minus the time covered by the
+  span's direct children, i.e. the cost attributable to the node
+  itself.  Ranking by exclusive time is what surfaces actual hot spots
+  rather than every ancestor of one.
+
+Report sources, in the order the CLI resolves them:
+
+1. an explicit manifest (``--manifest PATH``);
+2. a fresh traced run (``--fresh EXPERIMENT``);
+3. the newest span-bearing run manifest under the run directory;
+4. the latest run-history entry's ``span.*`` metrics (call counts are
+   not recorded there, so ``calls`` shows ``?``).
+
+Rendered as text (default), JSON (``--json``) or a self-contained HTML
+page (``--html PATH``); see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import trace as _trace
+
+__all__ = [
+    "HotSpot",
+    "hotspots_from_tree",
+    "hotspots_from_records",
+    "hotspots_from_flat_metrics",
+    "build_report",
+    "render_text",
+    "render_html",
+    "latest_manifest_path",
+]
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One ranked row of the profile report."""
+
+    path: str
+    name: str
+    count: int
+    """Number of span occurrences; 0 when unknown (history-derived)."""
+    inclusive_seconds: float
+    exclusive_seconds: float
+
+    @property
+    def per_call_seconds(self) -> float:
+        return self.inclusive_seconds / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "name": self.name,
+            "count": self.count,
+            "inclusive_seconds": round(self.inclusive_seconds, 6),
+            "exclusive_seconds": round(self.exclusive_seconds, 6),
+            "per_call_seconds": round(self.per_call_seconds, 6),
+        }
+
+
+def _rank(spots: List[HotSpot]) -> List[HotSpot]:
+    return sorted(
+        spots,
+        key=lambda s: (-s.exclusive_seconds, -s.inclusive_seconds, s.path),
+    )
+
+
+def hotspots_from_tree(tree: Dict[str, object]) -> List[HotSpot]:
+    """Walk a (possibly manifest-serialized) span tree into ranked rows.
+
+    Accepts both the finalized tree shape (``children`` as a list, as
+    stored in manifests) and the in-progress dict shape.
+    """
+    spots: List[HotSpot] = []
+
+    def _children(node: Dict[str, object]) -> List[Dict[str, object]]:
+        children = node.get("children") or []
+        if isinstance(children, dict):
+            children = list(children.values())
+        return [c for c in children if isinstance(c, dict)]
+
+    def _walk(node: Dict[str, object]) -> None:
+        children = _children(node)
+        inclusive = float(node.get("total_seconds", 0.0) or 0.0)
+        covered = sum(float(c.get("total_seconds", 0.0) or 0.0) for c in children)
+        if node.get("path"):
+            spots.append(
+                HotSpot(
+                    path=str(node["path"]),
+                    name=str(node.get("name", "")) or str(node["path"]).rsplit("/", 1)[-1],
+                    count=int(node.get("count", 0) or 0),
+                    inclusive_seconds=inclusive,
+                    exclusive_seconds=max(0.0, inclusive - covered),
+                )
+            )
+        for child in children:
+            _walk(child)
+
+    _walk(tree)
+    return _rank(spots)
+
+
+def hotspots_from_records(
+    records: Optional[Sequence[_trace.SpanRecord]] = None,
+) -> List[HotSpot]:
+    """Ranked rows from in-process span records (or the live collector)."""
+    return hotspots_from_tree(_trace.span_tree(records))
+
+
+def hotspots_from_flat_metrics(metrics: Dict[str, object]) -> List[HotSpot]:
+    """Ranked rows from flattened ``span.<path>`` history metrics.
+
+    History entries only archive per-path totals, so exclusive time is
+    reconstructed from the path hierarchy and call counts are unknown.
+    """
+    totals: Dict[str, float] = {}
+    for key, value in metrics.items():
+        if isinstance(key, str) and key.startswith("span.") and key != "span.":
+            try:
+                totals[key[len("span."):]] = float(value)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                continue
+    spots = []
+    for path, seconds in totals.items():
+        depth = path.count("/") + 1
+        covered = sum(
+            child_seconds
+            for child_path, child_seconds in totals.items()
+            if child_path.startswith(path + "/") and child_path.count("/") + 1 == depth + 1
+        )
+        spots.append(
+            HotSpot(
+                path=path,
+                name=path.rsplit("/", 1)[-1],
+                count=0,
+                inclusive_seconds=seconds,
+                exclusive_seconds=max(0.0, seconds - covered),
+            )
+        )
+    return _rank(spots)
+
+
+def build_report(
+    hotspots: Sequence[HotSpot], source: str, experiment: Optional[str] = None
+) -> Dict[str, object]:
+    """Assemble the machine-readable report envelope."""
+    total = sum(spot.exclusive_seconds for spot in hotspots)
+    return {
+        "source": source,
+        "experiment": experiment,
+        "total_seconds": round(total, 6),
+        "hotspots": [spot.to_dict() for spot in hotspots],
+    }
+
+
+def _fmt_count(count: object) -> str:
+    return str(count) if count else "?"
+
+
+def render_text(report: Dict[str, object], top: int = 15) -> str:
+    """Aligned hot-spot table for terminals."""
+    rows = list(report.get("hotspots") or [])[:top]
+    total = float(report.get("total_seconds", 0.0) or 0.0)
+    lines = [
+        f"profile — source: {report.get('source')}",
+        f"attributed wall time: {total:.3f}s across {len(report.get('hotspots') or [])} span paths",
+        "",
+        f"{'excl s':>10}  {'%':>5}  {'incl s':>10}  {'calls':>7}  {'s/call':>10}  path",
+    ]
+    for row in rows:
+        excl = float(row["exclusive_seconds"])
+        share = 100.0 * excl / total if total > 0 else 0.0
+        lines.append(
+            f"{excl:>10.4f}  {share:>5.1f}  {float(row['inclusive_seconds']):>10.4f}  "
+            f"{_fmt_count(row['count']):>7}  {float(row['per_call_seconds']):>10.4f}  "
+            f"{row['path']}"
+        )
+    if not rows:
+        lines.append("(no spans recorded)")
+    return "\n".join(lines)
+
+
+def render_html(report: Dict[str, object], top: int = 50) -> str:
+    """Self-contained HTML page mirroring the text table."""
+    rows = list(report.get("hotspots") or [])[:top]
+    total = float(report.get("total_seconds", 0.0) or 0.0)
+    body = []
+    for row in rows:
+        excl = float(row["exclusive_seconds"])
+        share = 100.0 * excl / total if total > 0 else 0.0
+        body.append(
+            "<tr><td>{path}</td><td>{excl:.4f}</td><td>{share:.1f}%</td>"
+            "<td>{incl:.4f}</td><td>{count}</td><td>{per:.4f}</td></tr>".format(
+                path=html.escape(str(row["path"])),
+                excl=excl,
+                share=share,
+                incl=float(row["inclusive_seconds"]),
+                count=html.escape(_fmt_count(row["count"])),
+                per=float(row["per_call_seconds"]),
+            )
+        )
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>repro profile</title><style>"
+        "body{font-family:sans-serif;margin:2em}table{border-collapse:collapse}"
+        "td,th{border:1px solid #ccc;padding:4px 10px;text-align:right}"
+        "td:first-child,th:first-child{text-align:left;font-family:monospace}"
+        "</style></head><body>"
+        f"<h1>repro profile</h1><p>source: <code>{html.escape(str(report.get('source')))}</code>"
+        f" — attributed wall time {total:.3f}s</p>"
+        "<table><tr><th>path</th><th>excl&nbsp;s</th><th>%</th>"
+        "<th>incl&nbsp;s</th><th>calls</th><th>s/call</th></tr>"
+        + "".join(body)
+        + "</table></body></html>"
+    )
+
+
+def latest_manifest_path(run_dir: "str | pathlib.Path") -> Optional[pathlib.Path]:
+    """Newest span-bearing run manifest under ``run_dir``, if any.
+
+    Manifest filenames lead with a sortable timestamp; files without a
+    ``span_tree`` key (e.g. archived profile reports) are skipped.
+    """
+    directory = pathlib.Path(run_dir)
+    if not directory.is_dir():
+        return None
+    for path in sorted(directory.glob("*.json"), reverse=True):
+        try:
+            manifest = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(manifest, dict) and isinstance(manifest.get("span_tree"), dict):
+            return path
+    return None

@@ -30,6 +30,7 @@ from repro.obs import trace as _trace
 __all__ = [
     "RUN_DIR_ENV",
     "git_sha",
+    "git_dirty",
     "repro_env",
     "environment_info",
     "provenance_header",
@@ -59,6 +60,29 @@ def git_sha(cwd: Optional[str] = None) -> Optional[str]:
     return sha if out.returncode == 0 and sha else None
 
 
+def git_dirty(cwd: Optional[str] = None) -> Optional[bool]:
+    """True when the checkout has uncommitted changes, None if unknown.
+
+    A dirty tree makes the recorded ``git_sha`` an unreliable
+    provenance key — benchmark archives stamped from one are not
+    attributable to any commit, which is why ``run_bench`` warns (and
+    the CLI refuses ``--write-baseline``) on dirty checkouts.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd or os.getcwd(),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if out.returncode != 0:
+        return None
+    return bool(out.stdout.strip())
+
+
 def repro_env() -> Dict[str, str]:
     """All ``REPRO_*`` environment knobs currently set."""
     return knobs.snapshot()
@@ -82,14 +106,27 @@ def environment_info() -> Dict[str, object]:
         numpy_version = numpy.__version__
     except Exception:  # pragma: no cover - numpy is a hard dep
         numpy_version = None
+    # Lazy import: repro.parallel imports repro.obs at module level,
+    # so the reverse edge must stay inside the function body.
+    from repro.parallel.executor import EXECUTOR_ENV, resolve_workers
+
+    executor_kind = (knobs.get_str(EXECUTOR_ENV) or "process").strip() or "process"
+    executor_workers = resolve_workers()
     return {
         "git_sha": git_sha(),
+        "git_dirty": git_dirty(),
         "version": _package_version(),
         "hostname": socket.gethostname(),
         "platform": platform.platform(),
         "python": platform.python_version(),
         "numpy": numpy_version,
         "cpu_count": os.cpu_count(),
+        # What the sweeps will actually use, not just what the host
+        # has: BENCH provenance was recording ``cpu_count`` while the
+        # executors ran with REPRO_WORKERS (often 1), which made
+        # parallel benchmark archives unreproducible.
+        "executor_workers": executor_workers,
+        "executor_kind": executor_kind if executor_workers > 1 else "serial",
         "pid": os.getpid(),
         "repro_env": repro_env(),
     }

@@ -30,8 +30,14 @@ from repro.parallel.resilient import (
     resilient_map,
 )
 from repro.parallel.seeding import RngLike, derive_seed, derive_seeds, ensure_rng, fresh_rng
+from repro.parallel.shm import SHM_ENV, SHM_MIN_BYTES, ShmRef, ShmSession, shm_enabled
 
 __all__ = [
+    "SHM_ENV",
+    "SHM_MIN_BYTES",
+    "ShmRef",
+    "ShmSession",
+    "shm_enabled",
     "TASK_TIMEOUT_ENV",
     "TASK_RETRIES_ENV",
     "RetryPolicy",

@@ -249,6 +249,10 @@ class ProcessExecutor(Executor):
         items = list(items)
         if self.workers <= 1 or len(items) <= 1:
             return [fn(item) for item in items]
+        from repro.parallel import shm as shm_mod
+
+        if shm_mod.shm_enabled():
+            return self._map_shm(fn, items)
         if not self._picklable(fn, items):
             warnings.warn(
                 "task function or arguments are not picklable; "
@@ -276,6 +280,51 @@ class ProcessExecutor(Executor):
                 stacklevel=2,
             )
             return [fn(item) for item in items]
+
+    def _map_shm(self, fn: Callable[[T], R], items: List[T]) -> List[R]:
+        """Map via the shared-memory transport (``REPRO_SHM=1``).
+
+        Large arrays in the task function and items ship as
+        zero-copy shared segments instead of per-task pickles; see
+        :mod:`repro.parallel.shm`.  Falls back to serial execution with
+        a warning exactly like the default path when payloads cannot
+        be pickled at all.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.parallel import shm as shm_mod
+
+        with shm_mod.ShmSession() as session:
+            try:
+                task = _ObsTask(fn)
+                task_blob = shm_mod.dumps(task, session)
+                item_blobs = [shm_mod.dumps(item, session) for item in items]
+            except Exception:
+                warnings.warn(
+                    "task function or arguments are not picklable; "
+                    "falling back to serial execution",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return [fn(item) for item in items]
+            pool_size = min(self.workers, len(items))
+            try:
+                with obs_trace.span("parallel_map", kind="process-shm",
+                                    tasks=len(items), workers=pool_size):
+                    t0 = time.perf_counter()
+                    with ProcessPoolExecutor(max_workers=pool_size) as pool:
+                        outcomes = list(pool.map(shm_mod.ShmCall(task_blob), item_blobs))
+                    return _harvest(
+                        outcomes, pool_size, time.perf_counter() - t0, "process-shm"
+                    )
+            except BrokenProcessPool:
+                warnings.warn(
+                    "process pool broke mid-sweep; re-running serially",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                return [fn(item) for item in items]
 
 
 def get_executor(

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
+
 __all__ = ["FixedPointCodec", "quantize_unit", "bit_place_values"]
 
 
@@ -44,7 +46,7 @@ def quantize_unit(values: np.ndarray, bits: int) -> np.ndarray:
     Values are clipped into the representable range first, so the
     function models an ideal saturating AD/DA converter.
     """
-    values = np.asarray(values, dtype=float)
+    values = _astype(values)
     levels = 2**bits
     codes = np.clip(np.floor(values * levels), 0, levels - 1)
     return codes / levels
@@ -84,13 +86,13 @@ class FixedPointCodec:
         ``(..., d * bits)``; each value expands into a contiguous
         MSB-first group.
         """
-        values = np.atleast_1d(np.asarray(values, dtype=float))
+        values = np.atleast_1d(_astype(values))
         levels = 2**self.bits
         codes = np.clip(np.floor(values * levels), 0, levels - 1)
         codes = codes.astype(np.int64)
         shifts = np.arange(self.bits - 1, -1, -1)
         bits = (codes[..., None] >> shifts) & 1
-        return bits.reshape(*values.shape[:-1], values.shape[-1] * self.bits).astype(float)
+        return _astype(bits.reshape(*values.shape[:-1], values.shape[-1] * self.bits))
 
     def decode(self, bits: np.ndarray) -> np.ndarray:
         """Decode 0/1 bit arrays back into values in ``[0, 1)``.
@@ -99,13 +101,13 @@ class FixedPointCodec:
         outputs before the comparator); they contribute fractionally.
         The trailing axis must be a multiple of ``self.bits``.
         """
-        bits = np.asarray(bits, dtype=float)
+        bits = _astype(bits)
         if bits.shape[-1] % self.bits:
             raise ValueError(
                 f"trailing axis {bits.shape[-1]} is not a multiple of word length {self.bits}"
             )
         groups = bits.reshape(*bits.shape[:-1], bits.shape[-1] // self.bits, self.bits)
-        return groups @ self.place_values
+        return groups @ _astype(self.place_values)
 
     def ports(self, dims: int) -> int:
         """Number of crossbar ports needed for ``dims`` values."""

@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
 from repro.device.variation import NonIdealFactors, lognormal_factor_stack
 
@@ -45,7 +46,7 @@ def sinh_nonlinearity(v: np.ndarray, alpha: float) -> np.ndarray:
     """
     if alpha < 0:
         raise ValueError(f"alpha must be >= 0, got {alpha}")
-    v = np.asarray(v, dtype=float)
+    v = _astype(v)
     if alpha == 0:
         return v
     return np.sinh(alpha * v) / np.sinh(alpha)
@@ -53,7 +54,7 @@ def sinh_nonlinearity(v: np.ndarray, alpha: float) -> np.ndarray:
 
 def coefficients_from_conductance(g: np.ndarray, g_s: float) -> np.ndarray:
     """Compute the coefficient matrix ``c`` of Eq. 2 from conductances."""
-    g = np.asarray(g, dtype=float)
+    g = _astype(g)
     if g.ndim != 2:
         raise ValueError(f"conductance matrix must be 2-D, got shape {g.shape}")
     if np.any(g < 0):
@@ -84,7 +85,7 @@ class Crossbar:
         device: RRAMDevice = HFOX_DEVICE,
         nonlinearity: float = 0.0,
     ):
-        conductances = np.asarray(conductances, dtype=float)
+        conductances = _astype(conductances)
         if conductances.ndim != 2:
             raise ValueError(f"conductances must be 2-D, got shape {conductances.shape}")
         if g_s <= 0:
@@ -137,7 +138,7 @@ class Crossbar:
             Generator for one Monte-Carlo trial (defaults to the noise
             object's own seeding).
         """
-        v_in = np.atleast_2d(np.asarray(v_in, dtype=float))
+        v_in = np.atleast_2d(_astype(v_in))
         if v_in.shape[1] != self.rows:
             raise ValueError(f"input has {v_in.shape[1]} ports, crossbar has {self.rows} rows")
         if noise is not None:
@@ -198,7 +199,7 @@ class Crossbar:
         Output voltages of shape ``(trials, batch, cols)``, computed
         with one stacked matmul instead of a per-trial Python loop.
         """
-        v_in = np.asarray(v_in, dtype=float)
+        v_in = _astype(v_in)
         if v_in.ndim != 3:
             raise ValueError(f"trial stack must be 3-D, got shape {v_in.shape}")
         if v_in.shape[2] != self.rows:

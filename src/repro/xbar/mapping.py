@@ -25,16 +25,29 @@ The periphery gain ``1 / scale`` is applied by the analog neuron stage.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
 from repro.device.variation import NonIdealFactors, lognormal_factor_stack
+from repro.obs import metrics as obs_metrics
 from repro.xbar.crossbar import Crossbar
 
-__all__ = ["MappingConfig", "solve_conductances", "DifferentialCrossbar", "map_matrix"]
+__all__ = [
+    "MappingConfig",
+    "solve_conductances",
+    "DifferentialCrossbar",
+    "map_matrix",
+    "clear_mapping_cache",
+    "mapping_cache_size",
+    "MAPPING_CACHE_CAPACITY",
+]
 
 
 @dataclass(frozen=True)
@@ -93,7 +106,7 @@ def solve_conductances(coefficients: np.ndarray, g_s: float, device: RRAMDevice)
     Exact where feasible; cells whose solution falls outside the device
     window are clipped (the caller's scale choice keeps this rare).
     """
-    c = np.asarray(coefficients, dtype=float)
+    c = _astype(coefficients)
     if np.any(c < 0):
         raise ValueError("target coefficients must be non-negative")
     col_sums = c.sum(axis=0)
@@ -102,6 +115,47 @@ def solve_conductances(coefficients: np.ndarray, g_s: float, device: RRAMDevice)
     s = g_s * col_sums / (1.0 - col_sums)
     g = c * (g_s + s)[None, :]
     return device.clip_conductance(g)
+
+
+MAPPING_CACHE_CAPACITY = 256
+"""Bound on the weight->conductance solution cache (LRU eviction)."""
+
+_cache_lock = threading.Lock()
+_MAPPING_CACHE: "OrderedDict[tuple, Tuple[float, np.ndarray, np.ndarray]]" = OrderedDict()
+
+
+def _cache_key(
+    weights: np.ndarray, config: MappingConfig, device: RRAMDevice
+) -> tuple:
+    digest = hashlib.blake2b(weights.tobytes(), digest_size=16).digest()
+    return (digest, weights.shape, str(weights.dtype), config, device)
+
+
+def clear_mapping_cache() -> None:
+    """Drop every cached mapping solution (tests, memory pressure)."""
+    with _cache_lock:
+        _MAPPING_CACHE.clear()
+
+
+def mapping_cache_size() -> int:
+    """Number of cached (weights, config, device) mapping solutions."""
+    with _cache_lock:
+        return len(_MAPPING_CACHE)
+
+
+def _cache_get(key: tuple) -> "Optional[Tuple[float, np.ndarray, np.ndarray]]":
+    with _cache_lock:
+        cached = _MAPPING_CACHE.get(key)
+        if cached is not None:
+            _MAPPING_CACHE.move_to_end(key)
+    return cached
+
+
+def _cache_put(key: tuple, value: Tuple[float, np.ndarray, np.ndarray]) -> None:
+    with _cache_lock:
+        _MAPPING_CACHE[key] = value
+        while len(_MAPPING_CACHE) > MAPPING_CACHE_CAPACITY:
+            _MAPPING_CACHE.popitem(last=False)
 
 
 def _choose_scale(weights: np.ndarray, config: MappingConfig, base: float) -> float:
@@ -149,23 +203,39 @@ class DifferentialCrossbar:
         config: Optional[MappingConfig] = None,
         device: RRAMDevice = HFOX_DEVICE,
     ):
-        weights = np.asarray(weights, dtype=float)
+        weights = _astype(weights)
         if weights.ndim != 2:
             raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
         self.config = config if config is not None else MappingConfig()
         self.device = device
-        base = self.config.base_coefficient(device)
-        self.scale = _choose_scale(weights, self.config, base)
-        c_pos = np.maximum(weights, 0.0) * self.scale + base
-        c_neg = np.maximum(-weights, 0.0) * self.scale + base
+        # MC trials, fault campaigns and sweep repeats re-deploy the
+        # same trained weights over and over; the solved mapping is a
+        # pure function of (weights, config, device), so it is cached.
+        # Crossbar.__init__ re-discretizes (always producing fresh
+        # arrays), so cache hits share no mutable state — fault
+        # injection on one deployment cannot leak into another.
+        key = _cache_key(weights, self.config, device)
+        cached = _cache_get(key)
+        if cached is not None:
+            obs_metrics.counter("mapping_cache_hits").inc()
+            self.scale, g_pos, g_neg = cached
+        else:
+            obs_metrics.counter("mapping_cache_misses").inc()
+            base = self.config.base_coefficient(device)
+            self.scale = _choose_scale(weights, self.config, base)
+            c_pos = np.maximum(weights, 0.0) * self.scale + base
+            c_neg = np.maximum(-weights, 0.0) * self.scale + base
+            g_pos = solve_conductances(c_pos, self.config.g_s, device)
+            g_neg = solve_conductances(c_neg, self.config.g_s, device)
+            _cache_put(key, (self.scale, g_pos, g_neg))
         self.positive = Crossbar(
-            solve_conductances(c_pos, self.config.g_s, device),
+            g_pos,
             self.config.g_s,
             device,
             nonlinearity=self.config.input_nonlinearity,
         )
         self.negative = Crossbar(
-            solve_conductances(c_neg, self.config.g_s, device),
+            g_neg,
             self.config.g_s,
             device,
             nonlinearity=self.config.input_nonlinearity,
@@ -201,7 +271,7 @@ class DifferentialCrossbar:
         (both arrays see the same fluctuated signal, as in hardware);
         process variation is drawn independently per array.
         """
-        x = np.atleast_2d(np.asarray(x, dtype=float))
+        x = np.atleast_2d(_astype(x))
         if noise is not None:
             if rng is None:
                 rng = noise.rng()
@@ -239,7 +309,7 @@ class DifferentialCrossbar:
         optional precomputed ``(positive, negative)`` factor pair from
         :meth:`consume_pv_factors`.
         """
-        x = np.asarray(x, dtype=float)
+        x = _astype(x)
         if x.ndim != 3:
             raise ValueError(f"trial stack must be 3-D, got shape {x.shape}")
         if noise is not None:

@@ -44,6 +44,8 @@ class TestRegistry:
             "REPRO_FULL",
             "REPRO_TASK_TIMEOUT",
             "REPRO_TASK_RETRIES",
+            "REPRO_DTYPE",
+            "REPRO_SHM",
         }
 
 

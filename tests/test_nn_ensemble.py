@@ -1,0 +1,208 @@
+"""Batched ensemble training: bit-identity vs the serial reference.
+
+The contract under test (``repro.nn.ensemble``): training K
+same-topology members with one stacked matmul per layer produces
+float64 weights, biases and loss histories **bit identical** to K
+independent :class:`Trainer.fit` runs with matching shuffle seeds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import MLP, TrainConfig, Trainer, WeightedMSE, mse
+from repro.nn.ensemble import EnsembleTrainer, _backward, _forward, _stack_models, train_ensemble
+from repro.nn.losses import Loss
+
+
+def _data(n=97, in_dim=5, out_dim=3, seed=7):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, (n, in_dim))
+    w = rng.uniform(-1, 1, (in_dim, out_dim))
+    y = np.tanh(x @ w) + 0.05 * rng.standard_normal((n, out_dim))
+    return x, y
+
+
+def _members(count, sizes=(5, 8, 3), seed0=11):
+    return [MLP(sizes, rng=seed0 + k) for k in range(count)]
+
+
+def _serial_reference(config, loss, x, y, sample_weights, seeds, sizes=(5, 8, 3),
+                      seed0=11, x_val=None, y_val=None):
+    results = []
+    models = []
+    for k, seed in enumerate(seeds):
+        model = MLP(sizes, rng=seed0 + k)
+        cfg = TrainConfig(**{**config.__dict__, "shuffle_seed": seed})
+        trainer = Trainer(loss=loss, config=cfg)
+        wk = sample_weights[k] if isinstance(sample_weights, np.ndarray) and \
+            sample_weights.ndim == 2 else sample_weights
+        results.append(trainer.fit(model, x, y, x_val=x_val, y_val=y_val,
+                                   sample_weights=wk))
+        models.append(model)
+    return models, results
+
+
+class TestBitIdentity:
+    def test_full_config_matches_serial_exactly(self):
+        """Adam + lr decay + l2 + per-sample and per-port weights."""
+        x, y = _data()
+        rng = np.random.default_rng(3)
+        sw = rng.uniform(0.2, 1.0, x.shape[0])
+        loss = WeightedMSE(port_weights=np.array([1.0, 0.5, 0.25]))
+        config = TrainConfig(epochs=6, batch_size=16, optimizer="adam",
+                             learning_rate=0.01, lr_decay=0.5, lr_decay_every=3,
+                             l2=1e-4)
+        seeds = [101, 102, 103, 104]
+
+        batched = _members(4)
+        EnsembleTrainer(loss=loss, config=config).fit(
+            batched, x, y, sample_weights=sw, shuffle_seeds=seeds
+        )
+        serial, serial_results = _serial_reference(config, loss, x, y, sw, seeds)
+
+        for bm, sm in zip(batched, serial):
+            for bl, sl in zip(bm.layers, sm.layers):
+                assert np.array_equal(bl.weights, sl.weights)
+                assert np.array_equal(bl.bias, sl.bias)
+
+    def test_loss_histories_match_serial(self):
+        x, y = _data(n=64)
+        x_val, y_val = _data(n=16, seed=8)
+        config = TrainConfig(epochs=5, batch_size=16, optimizer="sgd",
+                             learning_rate=0.05)
+        seeds = [1, 2, 3]
+
+        batched = _members(3)
+        batched_results = EnsembleTrainer(config=config).fit(
+            batched, x, y, x_val=x_val, y_val=y_val, shuffle_seeds=seeds
+        )
+        _, serial_results = _serial_reference(config, None, x, y, None, seeds,
+                                              x_val=x_val, y_val=y_val)
+        for br, sr in zip(batched_results, serial_results):
+            assert br.train_losses == sr.train_losses
+            assert br.val_losses == sr.val_losses
+            assert br.epochs_run == sr.epochs_run
+
+    def test_per_member_sample_weights(self):
+        x, y = _data(n=40)
+        rng = np.random.default_rng(5)
+        sw = rng.uniform(0.1, 1.0, (2, x.shape[0]))  # a SAAB-style (K, n)
+        config = TrainConfig(epochs=4, batch_size=8, optimizer="momentum",
+                             learning_rate=0.02)
+        seeds = [21, 22]
+
+        batched = _members(2)
+        EnsembleTrainer(config=config).fit(batched, x, y, sample_weights=sw,
+                                           shuffle_seeds=seeds)
+        serial, _ = _serial_reference(config, None, x, y, sw, seeds)
+        for bm, sm in zip(batched, serial):
+            for bl, sl in zip(bm.layers, sm.layers):
+                assert np.array_equal(bl.weights, sl.weights)
+
+    def test_train_ensemble_wrapper(self):
+        x, y = _data(n=32)
+        config = TrainConfig(epochs=3, batch_size=8, shuffle_seed=9)
+        batched = _members(2)
+        results = train_ensemble(batched, x, y, config=config)
+        serial, _ = _serial_reference(config, None, x, y, None, [9, 9])
+        assert len(results) == 2
+        for bm, sm in zip(batched, serial):
+            assert np.array_equal(bm.layers[0].weights, sm.layers[0].weights)
+
+
+class TestValidation:
+    def test_topology_mismatch_rejected(self):
+        x, y = _data(n=16)
+        models = [MLP((5, 8, 3), rng=0), MLP((5, 4, 3), rng=1)]
+        with pytest.raises(ValueError, match="topology"):
+            EnsembleTrainer(config=TrainConfig(epochs=1)).fit(models, x, y)
+
+    def test_unsupported_loss_rejected(self):
+        class Custom(Loss):
+            def value(self, predicted, target, sample_weights=None):
+                return mse(predicted, target)
+
+            def gradient(self, predicted, target, sample_weights=None):
+                return predicted - target
+
+        with pytest.raises(ValueError, match="WeightedMSE"):
+            EnsembleTrainer(loss=Custom())
+
+    def test_patience_rejected(self):
+        with pytest.raises(ValueError, match="patience"):
+            EnsembleTrainer(config=TrainConfig(patience=3))
+
+    def test_weight_noise_rejected(self):
+        with pytest.raises(ValueError, match="weight_noise_sigma"):
+            EnsembleTrainer(config=TrainConfig(weight_noise_sigma=0.1))
+
+    def test_bad_sample_weight_shape_rejected(self):
+        x, y = _data(n=16)
+        with pytest.raises(ValueError):
+            EnsembleTrainer(config=TrainConfig(epochs=1)).fit(
+                _members(2), x, y, sample_weights=np.ones((3, 16))
+            )
+
+    def test_seed_count_mismatch_rejected(self):
+        x, y = _data(n=16)
+        with pytest.raises(ValueError, match="shuffle seeds"):
+            EnsembleTrainer(config=TrainConfig(epochs=1)).fit(
+                _members(2), x, y, shuffle_seeds=[1, 2, 3]
+            )
+
+    def test_empty_ensemble_rejected(self):
+        x, y = _data(n=16)
+        with pytest.raises(ValueError, match="at least one"):
+            EnsembleTrainer(config=TrainConfig(epochs=1)).fit([], x, y)
+
+
+# Satellite property test: the batched WeightedMSE gradient equals the
+# per-member loop for arbitrary shapes/weights/sample-weights.
+@settings(max_examples=60, deadline=None)
+@given(
+    members=st.integers(1, 5),
+    batch=st.integers(1, 8),
+    ports=st.integers(1, 4),
+    weighted_ports=st.booleans(),
+    weighted_samples=st.booleans(),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_batched_gradient_matches_member_loop(
+    members, batch, ports, weighted_ports, weighted_samples, seed
+):
+    rng = np.random.default_rng(seed)
+    pred = rng.standard_normal((members, batch, ports))
+    target = rng.standard_normal((members, batch, ports))
+    port_weights = rng.uniform(0.1, 2.0, ports) if weighted_ports else None
+    sample_weights = rng.uniform(0.0, 2.0, (members, batch)) if weighted_samples else None
+
+    loss = WeightedMSE(port_weights=port_weights)
+    trainer = EnsembleTrainer(loss=loss, config=TrainConfig(epochs=1))
+    batched = trainer._gradient(pred, target, sample_weights)
+
+    for k in range(members):
+        wk = sample_weights[k] if sample_weights is not None else None
+        reference = loss.gradient(pred[k], target[k], wk)
+        assert np.array_equal(batched[k], reference)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    members=st.integers(1, 4),
+    batch=st.integers(1, 6),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_batched_forward_backward_match_member_loop(members, batch, seed):
+    rng = np.random.default_rng(seed)
+    models = [MLP((3, 5, 2), rng=seed % 1000 + k) for k in range(members)]
+    x = rng.standard_normal((batch, 3))
+    grad = rng.standard_normal((members, batch, 2))
+
+    stacks = _stack_models(models)
+    out = _forward(stacks, x, train=True)
+    _backward(stacks, grad)
+
+    for k, model in enumerate(models):
+        assert np.array_equal(out[k], model.forward(x))

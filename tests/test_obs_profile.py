@@ -1,0 +1,222 @@
+"""The profile report builder and ``python -m repro profile`` CLI."""
+
+import json
+
+import pytest
+
+from repro import __main__ as cli
+from repro.obs import trace
+from repro.obs.profile import (
+    build_report,
+    hotspots_from_flat_metrics,
+    hotspots_from_records,
+    hotspots_from_tree,
+    latest_manifest_path,
+    render_html,
+    render_text,
+)
+
+
+def _tree():
+    # bench (10s) -> train (6s) -> epoch (4s); bench -> deploy (1s)
+    return {
+        "path": "",
+        "children": [
+            {
+                "path": "bench",
+                "name": "bench",
+                "count": 1,
+                "total_seconds": 10.0,
+                "children": [
+                    {
+                        "path": "bench/train",
+                        "name": "train",
+                        "count": 2,
+                        "total_seconds": 6.0,
+                        "children": [
+                            {
+                                "path": "bench/train/epoch",
+                                "name": "epoch",
+                                "count": 20,
+                                "total_seconds": 4.0,
+                                "children": [],
+                            }
+                        ],
+                    },
+                    {
+                        "path": "bench/deploy",
+                        "name": "deploy",
+                        "count": 3,
+                        "total_seconds": 1.0,
+                        "children": [],
+                    },
+                ],
+            }
+        ],
+    }
+
+
+class TestTree:
+    def test_exclusive_is_inclusive_minus_direct_children(self):
+        spots = {s.path: s for s in hotspots_from_tree(_tree())}
+        assert spots["bench"].exclusive_seconds == pytest.approx(3.0)  # 10-6-1
+        assert spots["bench/train"].exclusive_seconds == pytest.approx(2.0)  # 6-4
+        assert spots["bench/train/epoch"].exclusive_seconds == pytest.approx(4.0)
+        assert spots["bench/deploy"].exclusive_seconds == pytest.approx(1.0)
+
+    def test_ranked_by_exclusive_descending(self):
+        paths = [s.path for s in hotspots_from_tree(_tree())]
+        assert paths == ["bench/train/epoch", "bench", "bench/train", "bench/deploy"]
+
+    def test_exclusive_clamped_at_zero(self):
+        tree = {
+            "path": "",
+            "children": [
+                {
+                    "path": "a",
+                    "count": 1,
+                    "total_seconds": 1.0,
+                    "children": [
+                        # Overlapping children can exceed the parent.
+                        {"path": "a/b", "count": 1, "total_seconds": 2.0, "children": []}
+                    ],
+                }
+            ],
+        }
+        spots = {s.path: s for s in hotspots_from_tree(tree)}
+        assert spots["a"].exclusive_seconds == 0.0
+
+    def test_children_as_dict_accepted(self):
+        tree = {
+            "path": "",
+            "children": {
+                "a": {"path": "a", "count": 1, "total_seconds": 2.0, "children": {}},
+            },
+        }
+        assert [s.path for s in hotspots_from_tree(tree)] == ["a"]
+
+
+class TestFlatMetrics:
+    def test_reconstructs_hierarchy_from_span_keys(self):
+        metrics = {
+            "span.bench": 10.0,
+            "span.bench/train": 4.0,
+            "span.bench/deploy": 5.0,
+            "accuracy": 0.97,  # not a span: ignored
+        }
+        spots = {s.path: s for s in hotspots_from_flat_metrics(metrics)}
+        assert set(spots) == {"bench", "bench/train", "bench/deploy"}
+        assert spots["bench"].exclusive_seconds == pytest.approx(1.0)
+        assert spots["bench"].count == 0  # unknown
+
+    def test_only_direct_children_are_subtracted(self):
+        metrics = {"span.a": 10.0, "span.a/b": 4.0, "span.a/b/c": 3.0}
+        spots = {s.path: s for s in hotspots_from_flat_metrics(metrics)}
+        assert spots["a"].exclusive_seconds == pytest.approx(6.0)
+        assert spots["a/b"].exclusive_seconds == pytest.approx(1.0)
+
+    def test_junk_values_skipped(self):
+        assert hotspots_from_flat_metrics({"span.x": "soon", "span.": 1.0}) == []
+
+
+class TestRecords:
+    def test_live_records_produce_hotspots(self):
+        trace.enable()
+        try:
+            trace.clear()
+            with trace.span("outer"):
+                with trace.span("inner"):
+                    pass
+            spots = {s.path for s in hotspots_from_records()}
+        finally:
+            trace.clear()
+            trace.enable(False)
+        assert spots == {"outer", "outer/inner"}
+
+
+class TestRendering:
+    def _report(self):
+        return build_report(hotspots_from_tree(_tree()), source="test", experiment="bench")
+
+    def test_report_shape(self):
+        report = self._report()
+        assert report["source"] == "test"
+        assert report["experiment"] == "bench"
+        assert report["total_seconds"] == pytest.approx(10.0)
+        assert report["hotspots"][0]["path"] == "bench/train/epoch"
+        json.dumps(report)  # must be JSON-serializable as-is
+
+    def test_text_render_has_columns_and_unknown_counts(self):
+        report = build_report(
+            hotspots_from_flat_metrics({"span.bench": 2.0}), source="history"
+        )
+        text = render_text(report)
+        assert "excl" in text and "bench" in text
+        assert "?" in text  # unknown call count
+
+    def test_text_render_respects_top(self):
+        text = render_text(self._report(), top=2)
+        assert "bench/train/epoch" in text
+        assert "bench/deploy" not in text
+
+    def test_html_render_is_self_contained(self):
+        html = render_html(self._report())
+        assert html.lstrip().startswith("<!") or html.lstrip().startswith("<html")
+        assert "bench/train/epoch" in html
+
+
+class TestLatestManifest:
+    def test_picks_newest_manifest_skipping_non_manifests(self, tmp_path):
+        (tmp_path / "0001-old.json").write_text(
+            json.dumps({"span_tree": {"path": "", "children": []}})
+        )
+        (tmp_path / "0002-new.json").write_text(
+            json.dumps({"span_tree": {"path": "", "children": []}})
+        )
+        (tmp_path / "0003-not-a-manifest.json").write_text(json.dumps({"rows": []}))
+        (tmp_path / "0004-broken.json").write_text("{nope")
+        assert latest_manifest_path(tmp_path).name == "0002-new.json"
+
+    def test_empty_dir_returns_none(self, tmp_path):
+        assert latest_manifest_path(tmp_path) is None
+        assert latest_manifest_path(tmp_path / "missing") is None
+
+
+class TestCli:
+    def _manifest(self, tmp_path):
+        path = tmp_path / "123-bench.json"
+        path.write_text(json.dumps({"experiment": "bench", "span_tree": _tree()}))
+        return path
+
+    def test_manifest_text_output(self, tmp_path, capsys):
+        rc = cli.main(["profile", "--manifest", str(self._manifest(tmp_path))])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bench/train/epoch" in out
+
+    def test_manifest_json_output_and_check(self, tmp_path, capsys):
+        rc = cli.main(
+            ["profile", "--manifest", str(self._manifest(tmp_path)), "--json", "--check"]
+        )
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["hotspots"][0]["exclusive_seconds"] == pytest.approx(4.0)
+
+    def test_missing_manifest_exits_2(self, tmp_path, capsys):
+        rc = cli.main(["profile", "--manifest", str(tmp_path / "nope.json")])
+        assert rc == 2
+
+    def test_no_sources_exits_2(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path / "empty-runs"))
+        monkeypatch.setenv("REPRO_HISTORY", str(tmp_path / "no-history.jsonl"))
+        rc = cli.main(["profile"])
+        assert rc == 2
+        assert "no span data" in capsys.readouterr().err.lower()
+
+    def test_html_written(self, tmp_path):
+        out = tmp_path / "profile.html"
+        rc = cli.main(
+            ["profile", "--manifest", str(self._manifest(tmp_path)), "--html", str(out)]
+        )
+        assert rc == 0
+        assert "bench/train" in out.read_text()
