@@ -14,6 +14,7 @@ trial.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -234,6 +235,8 @@ class AnalogMLP:
             raise ValueError(f"input has {out.shape[1]} ports, network expects {self.in_dim}")
         # One analog MAC per RRAM cell per sample (Eq. 2's column sums).
         obs_metrics.counter("crossbar_macs").inc(self.device_count * out.shape[0])
+        obs_metrics.counter("forward_passes").inc()
+        t0 = time.perf_counter()
         rng = noise.rng(trial) if not noise.is_ideal else None
         # Signal fluctuation is *interface* noise (Sec. 5.3: "noise to
         # the electrical signal, such as the input signal"): it
@@ -255,6 +258,9 @@ class AnalogMLP:
         if self.output_correction is not None:
             gain, offset = self.output_correction
             out = np.clip(gain * out + offset, 0.0, 1.0)
+        obs_metrics.histogram("forward_latency_seconds").observe(
+            time.perf_counter() - t0
+        )
         return out
 
     def forward_trials(
@@ -292,6 +298,7 @@ class AnalogMLP:
         obs_metrics.counter("crossbar_macs").inc(
             self.device_count * base.shape[0] * len(indices)
         )
+        t0 = time.perf_counter()
         if noise.is_ideal:
             out = self.forward(base)
             return np.broadcast_to(out, (len(indices),) + out.shape).copy()
@@ -328,6 +335,9 @@ class AnalogMLP:
         if self.output_correction is not None:
             gain, offset = self.output_correction
             out = np.clip(gain * out + offset, 0.0, 1.0)
+        obs_metrics.histogram("forward_trials_latency_seconds").observe(
+            time.perf_counter() - t0
+        )
         return out
 
     def freeze_variation(

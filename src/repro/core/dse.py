@@ -216,6 +216,7 @@ def search_hidden_size(
         ladder.append(hidden)
         hidden *= 2
 
+    obs_metrics.gauge("dse_ladder_size").set(len(ladder))
     with span("hidden_search", ladder=list(ladder)) as sp:
         if getattr(executor, "workers", 1) > 1 and len(ladder) > 1:
             tasks = [

@@ -17,7 +17,15 @@ The pillars (see ``docs/observability.md`` and ``docs/benchmarking.md``):
 * :mod:`repro.obs.report` — markdown/HTML trajectory reports with
   per-metric sparklines and a slowest-spans summary;
 * :mod:`repro.obs.profile` — ranked hot-spot reports (exclusive vs
-  inclusive span time) behind ``python -m repro profile``.
+  inclusive span time) behind ``python -m repro profile``;
+* :mod:`repro.obs.telemetry` — the *live* layer: a background sampler
+  appending process/executor/campaign telemetry to a JSONL ring, with
+  threshold alerts (``REPRO_TELEMETRY=1``);
+* :mod:`repro.obs.openmetrics` — OpenMetrics text exposition of the
+  metrics registry plus the ``/metrics`` / ``/telemetry.json`` /
+  dashboard HTTP endpoint;
+* :mod:`repro.obs.dashboard` — ``python -m repro top``: the terminal
+  and self-refreshing HTML views over the telemetry ring.
 
 Everything is dependency-free (stdlib only) and safe to import from
 any layer of the package.
@@ -39,12 +47,21 @@ from repro.obs.history import (
 )
 from repro.obs.log import LOG_ENV, LOG_JSON_ENV, configure, get_logger
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     REGISTRY,
     MetricsRegistry,
+    P2Quantile,
     counter,
     gauge,
     histogram,
+    quantile_from_summary,
     reset,
+)
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    TelemetryServer,
+    render,
+    validate,
 )
 from repro.obs.profile import (
     HotSpot,
@@ -60,9 +77,19 @@ from repro.obs.runinfo import (
     provenance_header,
     write_manifest,
 )
+from repro.obs.telemetry import (
+    TELEMETRY_ENV,
+    TELEMETRY_INTERVAL_ENV,
+    TELEMETRY_PORT_ENV,
+    AlertEvaluator,
+    AlertRule,
+    TelemetrySampler,
+    build_sample,
+)
 from repro.obs.trace import (
     TRACE_ENV,
     SpanRecord,
+    active_spans,
     render_tree,
     span,
     span_tree,
@@ -74,14 +101,29 @@ __all__ = [
     "TRACE_ENV",
     "RUN_DIR_ENV",
     "HISTORY_ENV",
+    "TELEMETRY_ENV",
+    "TELEMETRY_PORT_ENV",
+    "TELEMETRY_INTERVAL_ENV",
     "configure",
     "get_logger",
     "MetricsRegistry",
     "REGISTRY",
+    "BUCKET_BOUNDS",
+    "P2Quantile",
     "counter",
     "gauge",
     "histogram",
+    "quantile_from_summary",
     "reset",
+    "AlertRule",
+    "AlertEvaluator",
+    "TelemetrySampler",
+    "build_sample",
+    "CONTENT_TYPE",
+    "TelemetryServer",
+    "render",
+    "validate",
+    "active_spans",
     "append_entry",
     "build_entry",
     "load_history",

@@ -1,0 +1,357 @@
+"""Live run dashboard: terminal ``top`` view and self-refreshing HTML.
+
+Two render targets over the same telemetry samples:
+
+* :func:`render_top_text` — a plain-refresh terminal frame (``python
+  -m repro top``): process RSS/CPU, key counter rates, executor queue
+  depth, campaign progress/ETA, per-histogram p50/p95/p99, alert
+  states and the currently-open spans;
+* :func:`render_dashboard_html` — the same data as a self-contained
+  HTML page (``<meta http-equiv="refresh">``, inline SVG sparklines
+  reused from :mod:`repro.obs.report`) served at ``/`` by
+  :class:`~repro.obs.openmetrics.TelemetryServer`.
+
+:func:`run_top` drives the terminal loop, reading samples either from
+an in-process :class:`~repro.obs.telemetry.TelemetrySampler` or by
+polling a remote endpoint's ``/telemetry.json``.  All output goes to a
+caller-supplied stream — this module never writes to stdout itself
+(the CLI passes its own stream), keeping repro-lint's RPR004 happy.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.request
+from html import escape
+from typing import Callable, Dict, List, Optional, Sequence, TextIO
+
+from repro.obs.report import sparkline, svg_sparkline
+
+__all__ = [
+    "render_top_text",
+    "render_dashboard_html",
+    "fetch_samples",
+    "run_top",
+]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+_RATE_FIELDS = (
+    ("executor_task_rate", "tasks/s"),
+    ("mc_trial_rate", "trials/s"),
+    ("forward_pass_rate", "fwd/s"),
+    ("crossbar_mac_rate", "MAC/s"),
+    ("resilient_retry_rate", "retries/s"),
+)
+
+
+def _fmt_bytes(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
+    size = float(value)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if size < 1024 or unit == "TiB":
+            return f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+        size /= 1024
+    return f"{size:.1f}TiB"
+
+
+def _fmt_seconds(value: float) -> str:
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    if value < 120.0:
+        return f"{value:.2f}s"
+    minutes, seconds = divmod(value, 60.0)
+    return f"{int(minutes)}m{seconds:02.0f}s"
+
+
+def _series(
+    samples: Sequence[Dict[str, object]], pick: Callable[[Dict[str, object]], object]
+) -> List[float]:
+    values: List[float] = []
+    for sample in samples:
+        value = pick(sample)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            values.append(float(value))
+    return values
+
+
+def _get(sample: Dict[str, object], *path: str) -> object:
+    node: object = sample
+    for part in path:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def render_top_text(
+    samples: Sequence[Dict[str, object]], clear: bool = True
+) -> str:
+    """One terminal frame of the live dashboard from the sample ring."""
+    lines: List[str] = []
+    if clear:
+        lines.append(_CLEAR.rstrip("\n"))
+    if not samples:
+        lines.append("repro top — no telemetry samples yet")
+        return "\n".join(lines) + "\n"
+    latest = samples[-1]
+    experiment = latest.get("experiment", "run")
+    ts = time.strftime("%H:%M:%S", time.localtime(float(latest.get("ts", 0.0))))
+    lines.append(f"repro top — {experiment} @ {ts}  ({len(samples)} samples)")
+    rss = _get(latest, "process", "rss_bytes")
+    cpu = _get(latest, "process", "cpu_seconds")
+    util = _get(latest, "derived", "cpu_utilization")
+    rss_spark = sparkline(_series(samples, lambda s: _get(s, "process", "rss_bytes"))[-40:])
+    lines.append(
+        f"  rss {_fmt_bytes(rss if isinstance(rss, (int, float)) else None):>10}  "
+        f"{rss_spark}  cpu {float(cpu or 0.0):.1f}s"
+        + (f"  util {float(util):.0%}" if isinstance(util, (int, float)) else "")
+    )
+
+    queue = _get(latest, "gauges", "executor_queue_depth")
+    if isinstance(queue, (int, float)):
+        spark = sparkline(
+            _series(samples, lambda s: _get(s, "gauges", "executor_queue_depth"))[-40:]
+        )
+        lines.append(f"  queue depth {int(queue):>6}  {spark}")
+
+    derived = latest.get("derived")
+    if isinstance(derived, dict):
+        rates = [
+            f"{label} {float(derived[name]):.1f}"
+            for name, label in _RATE_FIELDS
+            if isinstance(derived.get(name), (int, float))
+        ]
+        if rates:
+            lines.append("  rates: " + "  ".join(rates))
+        hit_rate = derived.get("mapping_cache_hit_rate")
+        if isinstance(hit_rate, (int, float)):
+            lines.append(f"  mapping cache hit rate {float(hit_rate):.0%}")
+        progress = derived.get("campaign_progress")
+        if isinstance(progress, (int, float)):
+            eta = derived.get("campaign_eta_seconds")
+            bar_width = 30
+            filled = int(round(bar_width * float(progress)))
+            bar = "#" * filled + "-" * (bar_width - filled)
+            eta_text = (
+                f"  eta {_fmt_seconds(float(eta))}"
+                if isinstance(eta, (int, float))
+                else ""
+            )
+            lines.append(f"  campaign [{bar}] {float(progress):.0%}{eta_text}")
+
+    histograms = latest.get("histograms")
+    if isinstance(histograms, dict) and histograms:
+        lines.append("  latency:")
+        for name, digest in sorted(histograms.items()):
+            if not isinstance(digest, dict):
+                continue
+            lines.append(
+                f"    {name:<28} n={int(digest.get('count', 0)):>7} "
+                f"p50 {_fmt_seconds(float(digest.get('p50', 0.0)))} "
+                f"p95 {_fmt_seconds(float(digest.get('p95', 0.0)))} "
+                f"p99 {_fmt_seconds(float(digest.get('p99', 0.0)))}"
+            )
+
+    alerts = latest.get("alerts")
+    if isinstance(alerts, dict):
+        firing = sorted(name for name, state in alerts.items() if state)
+        lines.append(
+            "  alerts: " + (", ".join(f"[{name}]" for name in firing) if firing else "none")
+        )
+
+    spans = latest.get("active_spans")
+    if isinstance(spans, list) and spans:
+        lines.append("  active spans:")
+        for info in spans[:8]:
+            if isinstance(info, dict):
+                lines.append(
+                    f"    {info.get('path', '?'):<40} "
+                    f"{_fmt_seconds(float(info.get('elapsed', 0.0)))}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def render_dashboard_html(
+    samples: Sequence[Dict[str, object]], refresh_seconds: int = 2
+) -> str:
+    """Self-refreshing HTML dashboard over the sample ring."""
+    body: List[str] = []
+    if not samples:
+        body.append("<p>No telemetry samples yet — the sampler warms up "
+                    "after one interval.</p>")
+    else:
+        latest = samples[-1]
+        experiment = escape(str(latest.get("experiment", "run")))
+        ts = time.strftime(
+            "%Y-%m-%d %H:%M:%S", time.localtime(float(latest.get("ts", 0.0)))
+        )
+        body.append(f"<h1>repro · {experiment}</h1>")
+        body.append(f"<p class='muted'>{ts} · {len(samples)} samples · "
+                    f"refreshes every {refresh_seconds}s</p>")
+
+        cards: List[str] = []
+        rss_series = _series(samples, lambda s: _get(s, "process", "rss_bytes"))
+        rss = rss_series[-1] if rss_series else None
+        cards.append(
+            "<div class='card'><h2>Memory</h2>"
+            f"<div class='big'>{escape(_fmt_bytes(rss))}</div>"
+            f"{svg_sparkline(rss_series[-120:])}</div>"
+        )
+        queue_series = _series(
+            samples, lambda s: _get(s, "gauges", "executor_queue_depth")
+        )
+        if queue_series:
+            cards.append(
+                "<div class='card'><h2>Queue depth</h2>"
+                f"<div class='big'>{int(queue_series[-1])}</div>"
+                f"{svg_sparkline(queue_series[-120:])}</div>"
+            )
+        derived = samples[-1].get("derived")
+        derived = derived if isinstance(derived, dict) else {}
+        for name, label in _RATE_FIELDS:
+            if not isinstance(derived.get(name), (int, float)):
+                continue
+            series = _series(samples, lambda s, n=name: _get(s, "derived", n))
+            cards.append(
+                f"<div class='card'><h2>{escape(label)}</h2>"
+                f"<div class='big'>{float(derived[name]):.1f}</div>"
+                f"{svg_sparkline(series[-120:])}</div>"
+            )
+        progress = derived.get("campaign_progress")
+        if isinstance(progress, (int, float)):
+            eta = derived.get("campaign_eta_seconds")
+            eta_text = (
+                f" · ETA {escape(_fmt_seconds(float(eta)))}"
+                if isinstance(eta, (int, float))
+                else ""
+            )
+            cards.append(
+                "<div class='card'><h2>Campaign</h2>"
+                f"<div class='big'>{float(progress):.0%}{eta_text}</div>"
+                "<div class='bar'><div class='fill' "
+                f"style='width:{float(progress) * 100:.1f}%'></div></div></div>"
+            )
+        body.append("<div class='cards'>" + "".join(cards) + "</div>")
+
+        histograms = latest.get("histograms")
+        if isinstance(histograms, dict) and histograms:
+            rows = []
+            for name, digest in sorted(histograms.items()):
+                if not isinstance(digest, dict):
+                    continue
+                p50_series = _series(
+                    samples, lambda s, n=name: _get(s, "histograms", n, "p50")
+                )
+                rows.append(
+                    f"<tr><td>{escape(name)}</td>"
+                    f"<td>{int(digest.get('count', 0))}</td>"
+                    f"<td>{escape(_fmt_seconds(float(digest.get('p50', 0.0))))}</td>"
+                    f"<td>{escape(_fmt_seconds(float(digest.get('p95', 0.0))))}</td>"
+                    f"<td>{escape(_fmt_seconds(float(digest.get('p99', 0.0))))}</td>"
+                    f"<td>{svg_sparkline(p50_series[-120:])}</td></tr>"
+                )
+            body.append(
+                "<h2>Latency</h2><table><tr><th>histogram</th><th>count</th>"
+                "<th>p50</th><th>p95</th><th>p99</th><th>p50 trend</th></tr>"
+                + "".join(rows) + "</table>"
+            )
+
+        alerts = latest.get("alerts")
+        if isinstance(alerts, dict):
+            chips = "".join(
+                f"<span class='chip {'firing' if state else 'ok'}'>"
+                f"{escape(name)}</span>"
+                for name, state in sorted(alerts.items())
+            )
+            body.append(f"<h2>Alerts</h2><p>{chips}</p>")
+
+        spans = latest.get("active_spans")
+        if isinstance(spans, list) and spans:
+            items = "".join(
+                f"<li><code>{escape(str(info.get('path', '?')))}</code> "
+                f"{escape(_fmt_seconds(float(info.get('elapsed', 0.0))))}</li>"
+                for info in spans[:12]
+                if isinstance(info, dict)
+            )
+            body.append(f"<h2>Active spans</h2><ul>{items}</ul>")
+
+    style = (
+        "body{font-family:system-ui,sans-serif;margin:1.5rem;color:#1a2230;}"
+        ".muted{color:#778;}"
+        ".cards{display:flex;flex-wrap:wrap;gap:0.8rem;}"
+        ".card{border:1px solid #dde;border-radius:8px;padding:0.6rem 1rem;"
+        "min-width:10rem;}"
+        ".card h2{margin:0 0 0.3rem;font-size:0.8rem;color:#667;"
+        "text-transform:uppercase;}"
+        ".big{font-size:1.4rem;font-weight:600;margin-bottom:0.2rem;}"
+        "table{border-collapse:collapse;margin-top:0.5rem;}"
+        "td,th{padding:0.25rem 0.8rem;border-bottom:1px solid #eef;"
+        "text-align:left;font-size:0.9rem;}"
+        ".bar{background:#eef;border-radius:4px;height:0.6rem;overflow:hidden;}"
+        ".fill{background:#4a7;height:100%;}"
+        ".chip{display:inline-block;border-radius:999px;padding:0.15rem 0.7rem;"
+        "margin-right:0.4rem;font-size:0.85rem;}"
+        ".chip.ok{background:#e8f5ec;color:#285;}"
+        ".chip.firing{background:#fdeaea;color:#b33;font-weight:600;}"
+        "svg.spark polyline{stroke:#4a7;}"
+    )
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<meta http-equiv='refresh' content='{int(refresh_seconds)}'>"
+        f"<title>repro dashboard</title><style>{style}</style></head>"
+        f"<body>{''.join(body)}</body></html>"
+    )
+
+
+def fetch_samples(url: str, timeout: float = 5.0) -> List[Dict[str, object]]:
+    """The sample ring from a remote endpoint's ``/telemetry.json``."""
+    target = url.rstrip("/") + "/telemetry.json"
+    with urllib.request.urlopen(target, timeout=timeout) as response:
+        payload = json.loads(response.read().decode("utf-8"))
+    return payload if isinstance(payload, list) else []
+
+
+def run_top(
+    stream: TextIO,
+    url: Optional[str] = None,
+    sampler=None,
+    interval: float = 1.0,
+    iterations: Optional[int] = None,
+) -> None:
+    """Drive the terminal dashboard loop, writing frames to ``stream``.
+
+    Reads from the in-process ``sampler`` ring when given, otherwise
+    polls ``url``.  ``iterations=None`` loops until interrupted
+    (Ctrl-C returns cleanly); ``iterations=1`` renders a single frame
+    without clearing the screen (``--once``).
+    """
+    if sampler is None and url is None:
+        raise ValueError("run_top needs a sampler or a url")
+    done = 0
+    clear = iterations != 1
+    try:
+        while iterations is None or done < iterations:
+            if sampler is not None:
+                samples = sampler.samples()
+            else:
+                try:
+                    samples = fetch_samples(url)  # type: ignore[arg-type]
+                except OSError as exc:
+                    stream.write(f"repro top — endpoint unreachable: {exc}\n")
+                    stream.flush()
+                    samples = None
+            if samples is not None:
+                stream.write(render_top_text(samples, clear=clear))
+                stream.flush()
+            done += 1
+            if iterations is not None and done >= iterations:
+                break
+            time.sleep(max(0.1, interval))
+    except KeyboardInterrupt:
+        stream.write("\n")
+        stream.flush()

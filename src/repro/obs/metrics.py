@@ -7,22 +7,34 @@ are coarse (one update per training run / forward pass / solve), so
 the registry is always on; a metric update is a dict lookup plus a
 lock-guarded add.
 
+Histograms are *streaming quantile sketches*: alongside
+count/sum/min/max they bin every observation into a fixed, log-spaced
+bucket ladder (:data:`BUCKET_BOUNDS`), so p50/p95/p99 are available
+*during* a run (:meth:`Histogram.quantile`) without storing samples —
+bounded memory, and exactly mergeable across processes because every
+histogram shares the same bucket bounds.  :class:`P2Quantile`
+implements the classic P² single-quantile estimator for call sites
+that need a tighter (but non-mergeable) streaming estimate.
+
 Cross-process sweeps: a :class:`ProcessExecutor` worker snapshots the
 registry before and after each task and ships the :func:`diff` home,
 where the parent :func:`merge`\\ s it — so ``snapshot()`` after a
-parallel sweep matches the serial run's totals.
+parallel sweep matches the serial run's totals, bucket for bucket.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 import threading
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 __all__ = [
+    "BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
+    "P2Quantile",
     "MetricsRegistry",
     "REGISTRY",
     "counter",
@@ -33,7 +45,20 @@ __all__ = [
     "diff",
     "clear",
     "reset",
+    "quantile_from_summary",
 ]
+
+BUCKET_BOUNDS: Tuple[float, ...] = tuple(
+    mantissa * (10.0 ** exponent)
+    for exponent in range(-4, 4)
+    for mantissa in (1.0, 2.5, 5.0)
+) + (math.inf,)
+"""Shared upper bucket bounds (1-2.5-5 per decade, 100µs..5000s, +Inf).
+
+One fixed ladder for every histogram keeps sketches exactly mergeable
+across workers and runs: merging is element-wise bucket addition, so a
+``ProcessExecutor`` sweep reports the same quantile estimates a serial
+run would."""
 
 
 class Counter:
@@ -65,11 +90,22 @@ class Gauge:
         with self._lock:
             self.value = float(value)
 
+    def add(self, delta: float) -> None:
+        """Shift the gauge by ``delta`` (live up/down tracking, e.g.
+        active shared-memory bytes or executor queue depth)."""
+        with self._lock:
+            self.value += float(delta)
+
 
 class Histogram:
-    """Streaming summary: count, sum, min, max (and derived mean)."""
+    """Streaming quantile sketch: count/sum/min/max plus bucket counts.
 
-    __slots__ = ("_lock", "count", "sum", "min", "max")
+    Observations bin into the shared :data:`BUCKET_BOUNDS` ladder, so
+    :meth:`quantile` answers p50/p95/p99 live, in bounded memory, and
+    two sketches merge exactly (element-wise bucket addition).
+    """
+
+    __slots__ = ("_lock", "count", "sum", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -77,12 +113,15 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.buckets = [0] * len(BUCKET_BOUNDS)
 
     def observe(self, value: float) -> None:
         value = float(value)
+        index = bisect.bisect_left(BUCKET_BOUNDS, value)
         with self._lock:
             self.count += 1
             self.sum += value
+            self.buckets[index] += 1
             if value < self.min:
                 self.min = value
             if value > self.max:
@@ -92,9 +131,12 @@ class Histogram:
         values = [float(v) for v in values]
         if not values:
             return
+        indices = [bisect.bisect_left(BUCKET_BOUNDS, v) for v in values]
         with self._lock:
             self.count += len(values)
             self.sum += sum(values)
+            for index in indices:
+                self.buckets[index] += 1
             self.min = min(self.min, min(values))
             self.max = max(self.max, max(values))
 
@@ -102,17 +144,163 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else float("nan")
 
-    def summary(self) -> Dict[str, float]:
+    def quantile(self, q: float) -> float:
+        """Streaming quantile estimate from the bucket sketch.
+
+        Linear interpolation inside the bucket holding rank ``q``,
+        clamped to the observed ``[min, max]``; NaN with no samples.
+        """
         with self._lock:
-            if not self.count:
-                return {"count": 0, "sum": 0.0, "min": None, "max": None, "mean": None}
-            return {
-                "count": self.count,
-                "sum": round(self.sum, 9),
-                "min": self.min,
-                "max": self.max,
-                "mean": self.sum / self.count,
-            }
+            return quantile_from_summary(self._summary_locked(), q)
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)) -> Dict[str, float]:
+        """Several quantiles in one lock acquisition (``{"p50": ...}``)."""
+        with self._lock:
+            summary = self._summary_locked()
+        return {
+            f"p{str(round(q * 100, 1)).rstrip('0').rstrip('.')}":
+                quantile_from_summary(summary, q)
+            for q in qs
+        }
+
+    def _summary_locked(self) -> Dict[str, object]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": None, "max": None,
+                    "mean": None, "buckets": list(self.buckets)}
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 9),
+            "min": self.min,
+            "max": self.max,
+            "mean": self.sum / self.count,
+            "buckets": list(self.buckets),
+        }
+
+    def summary(self) -> Dict[str, object]:
+        with self._lock:
+            return self._summary_locked()
+
+
+def quantile_from_summary(summary: Dict[str, object], q: float) -> float:
+    """Quantile estimate from a histogram summary dict (snapshot form).
+
+    Shared by :meth:`Histogram.quantile`, the telemetry sampler and the
+    OpenMetrics exposition, so live endpoints and archived manifests
+    agree on the estimator: walk the cumulative bucket counts to the
+    bucket holding rank ``q``, interpolate linearly inside it, clamp to
+    the recorded ``[min, max]``.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    count = int(summary.get("count") or 0)
+    buckets = summary.get("buckets")
+    if not count:
+        return float("nan")
+    lo = float(summary.get("min", 0.0) or 0.0)
+    hi = float(summary.get("max", 0.0) or 0.0)
+    if not isinstance(buckets, (list, tuple)) or len(buckets) != len(BUCKET_BOUNDS):
+        # Sketch-less summary (e.g. an old manifest): fall back to the
+        # recorded extrema, the only honest bound available.
+        return lo if q <= 0.5 else hi
+    rank = q * count
+    cumulative = 0.0
+    for index, bucket_count in enumerate(buckets):
+        if not bucket_count:
+            continue
+        previous = cumulative
+        cumulative += bucket_count
+        if cumulative >= rank:
+            lower = BUCKET_BOUNDS[index - 1] if index else 0.0
+            upper = BUCKET_BOUNDS[index]
+            if not math.isfinite(upper):
+                upper = hi
+            lower = max(lower, lo) if cumulative == bucket_count else lower
+            fraction = (rank - previous) / bucket_count
+            estimate = lower + fraction * max(0.0, upper - lower)
+            return float(min(max(estimate, lo), hi))
+    return hi
+
+
+class P2Quantile:
+    """P² streaming quantile estimator (Jain & Chlamtac, 1985).
+
+    Five markers track one quantile in O(1) memory and O(1) per
+    observation, with much tighter estimates than the bucket sketch —
+    but two P² estimators cannot be merged, so :class:`Histogram` keeps
+    the mergeable bucket ladder for cross-process sweeps and this class
+    serves single-process consumers (e.g. the telemetry sampler's
+    interval jitter estimate, or tests cross-checking the sketch).
+    """
+
+    __slots__ = ("q", "_lock", "_initial", "_heights", "_positions", "_desired")
+
+    def __init__(self, q: float = 0.5) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = float(q)
+        self._lock = threading.Lock()
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[float] = []
+        self._desired: List[float] = []
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            if len(self._initial) < 5:
+                self._initial.append(value)
+                if len(self._initial) == 5:
+                    self._initial.sort()
+                    self._heights = list(self._initial)
+                    self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+                    q = self.q
+                    self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+                return
+            h, n = self._heights, self._positions
+            if value < h[0]:
+                h[0] = value
+                k = 0
+            elif value >= h[4]:
+                h[4] = value
+                k = 3
+            else:
+                k = next(i for i in range(4) if h[i] <= value < h[i + 1])
+            for i in range(k + 1, 5):
+                n[i] += 1.0
+            q = self.q
+            increments = (0.0, q / 2, q, (1 + q) / 2, 1.0)
+            for i in range(5):
+                self._desired[i] += increments[i]
+            for i in (1, 2, 3):
+                d = self._desired[i] - n[i]
+                if (d >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                    d <= -1.0 and n[i - 1] - n[i] < -1.0
+                ):
+                    step = 1.0 if d >= 1.0 else -1.0
+                    parabolic = h[i] + step / (n[i + 1] - n[i - 1]) * (
+                        (n[i] - n[i - 1] + step)
+                        * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                        + (n[i + 1] - n[i] - step)
+                        * (h[i] - h[i - 1]) / (n[i] - n[i - 1])
+                    )
+                    if h[i - 1] < parabolic < h[i + 1]:
+                        h[i] = parabolic
+                    else:  # parabolic prediction left the bracket: linear
+                        j = i + int(step)
+                        h[i] = h[i] + step * (h[j] - h[i]) / (n[j] - n[i])
+                    n[i] += step
+
+    @property
+    def value(self) -> float:
+        """Current estimate (NaN before any sample; exact under 5)."""
+        with self._lock:
+            if self._heights:
+                return float(self._heights[2])
+            if not self._initial:
+                return float("nan")
+            ordered = sorted(self._initial)
+            rank = min(len(ordered) - 1, int(round(self.q * (len(ordered) - 1))))
+            return float(ordered[rank])
 
 
 class MetricsRegistry:
@@ -171,6 +359,7 @@ class MetricsRegistry:
             if not summary or not summary.get("count"):
                 continue
             metric = self.histogram(name)
+            buckets = summary.get("buckets")
             with metric._lock:
                 metric.count += int(summary["count"])
                 metric.sum += float(summary["sum"])
@@ -178,6 +367,11 @@ class MetricsRegistry:
                     metric.min = min(metric.min, float(summary["min"]))
                 if summary.get("max") is not None:
                     metric.max = max(metric.max, float(summary["max"]))
+                if isinstance(buckets, (list, tuple)) and len(buckets) == len(
+                    metric.buckets
+                ):
+                    for index, bucket_count in enumerate(buckets):
+                        metric.buckets[index] += int(bucket_count)
 
     def clear(self) -> None:
         with self._lock:
@@ -207,12 +401,19 @@ def diff(
         prior = before.get("histograms", {}).get(name) or {"count": 0, "sum": 0.0}
         count = int(summary.get("count", 0)) - int(prior.get("count", 0))
         if count > 0:
-            out["histograms"][name] = {
+            delta: Dict[str, object] = {
                 "count": count,
                 "sum": float(summary.get("sum", 0.0)) - float(prior.get("sum", 0.0)),
                 "min": summary.get("min"),
                 "max": summary.get("max"),
             }
+            after_buckets = summary.get("buckets")
+            if isinstance(after_buckets, (list, tuple)):
+                prior_buckets = prior.get("buckets") or [0] * len(after_buckets)
+                delta["buckets"] = [
+                    int(a) - int(b) for a, b in zip(after_buckets, prior_buckets)
+                ]
+            out["histograms"][name] = delta
     return out
 
 

@@ -1,0 +1,382 @@
+"""OpenMetrics text exposition for the metrics registry.
+
+Renders the process-wide :class:`~repro.obs.metrics.MetricsRegistry`
+(plus telemetry-sampler gauges and alert states) in the OpenMetrics /
+Prometheus text format, and serves it from a stdlib
+:class:`http.server` endpoint:
+
+* :func:`render` — registry snapshot → exposition text, with counter
+  families (``repro_<name>_total``), gauges, full histogram families
+  (cumulative ``_bucket{le=...}`` over the shared
+  :data:`~repro.obs.metrics.BUCKET_BOUNDS` ladder, ``_sum``,
+  ``_count``) and a live quantile gauge family per histogram
+  (``repro_<name>_quantiles{quantile="0.5"}``) so p50/p99 are
+  scrapeable without a query engine;
+* :func:`validate` — a grammar-lite checker for the text format used
+  by the test suite and the CI smoke step;
+* :class:`TelemetryServer` — a daemon-thread HTTP server exposing
+  ``/metrics`` (exposition), ``/telemetry.json`` (the sampler ring)
+  and ``/`` (the self-refreshing HTML dashboard from
+  :mod:`repro.obs.dashboard`).
+
+Start it with ``python -m repro metrics-server``, or implicitly for
+any run via ``REPRO_TELEMETRY=1`` (port/interval knobs in
+:mod:`repro.config.knobs`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import metrics as _metrics
+from repro.obs.log import get_logger
+
+__all__ = [
+    "CONTENT_TYPE",
+    "render",
+    "validate",
+    "metric_name",
+    "TelemetryServer",
+]
+
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+"""Content type of the ``/metrics`` response."""
+
+PREFIX = "repro_"
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+_log = get_logger("obs.openmetrics")
+
+_QUANTILE_POINTS: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+def metric_name(name: str) -> str:
+    """Registry metric name → legal prefixed OpenMetrics family name."""
+    cleaned = _SANITIZE.sub("_", name.strip())
+    if not cleaned or not _NAME_OK.match(f"{PREFIX}{cleaned}"):
+        cleaned = f"invalid_{abs(hash(name)) % 10_000}"
+    return f"{PREFIX}{cleaned}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _le_label(bound: float) -> str:
+    return "+Inf" if math.isinf(bound) else _format_value(bound)
+
+
+def render(
+    snapshot: Optional[Dict[str, Dict[str, object]]] = None,
+    extra_gauges: Optional[Dict[str, float]] = None,
+    alert_states: Optional[Dict[str, bool]] = None,
+) -> str:
+    """The registry snapshot as OpenMetrics exposition text.
+
+    ``extra_gauges`` carries sampler-derived values (process RSS/CPU,
+    rates) that live outside the registry; ``alert_states`` renders as
+    an ``repro_alert_state{alert="..."}`` gauge family.  Ends with the
+    mandatory ``# EOF`` terminator.
+    """
+    snap = snapshot if snapshot is not None else _metrics.snapshot()
+    lines: List[str] = []
+
+    for name, value in sorted(snap.get("counters", {}).items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"# HELP {family} Registry counter {name}.")
+        lines.append(f"{family}_total {_format_value(float(value))}")
+
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"# HELP {family} Registry gauge {name}.")
+        lines.append(f"{family} {_format_value(float(value))}")
+
+    for name, value in sorted((extra_gauges or {}).items()):
+        if value is None:
+            continue
+        family = metric_name(name)
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"# HELP {family} Telemetry sampler gauge {name}.")
+        lines.append(f"{family} {_format_value(float(value))}")
+
+    for name, summary in sorted(snap.get("histograms", {}).items()):
+        if not summary:
+            continue
+        family = metric_name(name)
+        count = int(summary.get("count") or 0)
+        total = float(summary.get("sum") or 0.0)
+        buckets = summary.get("buckets")
+        lines.append(f"# TYPE {family} histogram")
+        lines.append(f"# HELP {family} Registry histogram {name} (seconds).")
+        if isinstance(buckets, (list, tuple)) and len(buckets) == len(
+            _metrics.BUCKET_BOUNDS
+        ):
+            cumulative = 0
+            for bound, bucket_count in zip(_metrics.BUCKET_BOUNDS, buckets):
+                cumulative += int(bucket_count)
+                lines.append(
+                    f'{family}_bucket{{le="{_le_label(bound)}"}} {cumulative}'
+                )
+        else:
+            lines.append(f'{family}_bucket{{le="+Inf"}} {count}')
+        lines.append(f"{family}_sum {_format_value(total)}")
+        lines.append(f"{family}_count {count}")
+        if count:
+            qfamily = f"{family}_quantiles"
+            lines.append(f"# TYPE {qfamily} gauge")
+            lines.append(
+                f"# HELP {qfamily} Live streaming quantile estimates for {name}."
+            )
+            for q in _QUANTILE_POINTS:
+                estimate = _metrics.quantile_from_summary(summary, q)
+                lines.append(
+                    f'{qfamily}{{quantile="{q}"}} {_format_value(estimate)}'
+                )
+
+    if alert_states:
+        family = f"{PREFIX}alert_state"
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"# HELP {family} Threshold alert states (1 = firing).")
+        for alert, firing in sorted(alert_states.items()):
+            label = alert.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(f'{family}{{alert="{label}"}} {1 if firing else 0}')
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>-?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\+Inf|-Inf|NaN))"
+    r"(?: -?\d+\.?\d*)?$"
+)
+_LABEL = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def validate(text: str) -> None:
+    """Grammar-lite OpenMetrics validation; raises ``ValueError``.
+
+    Checks the properties the scrape contract depends on: every line
+    is a well-formed comment or sample, label pairs parse, sample
+    names belong to a family declared by a preceding ``# TYPE`` line,
+    counter samples use the ``_total`` suffix, and the payload ends
+    with exactly one ``# EOF`` terminator.
+    """
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines = lines[:-1]
+    if not lines or lines[-1] != "# EOF":
+        errors.append("payload must end with '# EOF'")
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            errors.append(f"line {lineno}: empty line")
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if line == "# EOF":
+                if lineno != len(lines):
+                    errors.append(f"line {lineno}: '# EOF' before end of payload")
+                continue
+            if len(parts) < 4 or parts[1] not in ("TYPE", "HELP", "UNIT"):
+                errors.append(f"line {lineno}: malformed comment {line!r}")
+                continue
+            if parts[1] == "TYPE":
+                if parts[3] not in (
+                    "counter", "gauge", "histogram", "summary",
+                    "info", "stateset", "unknown",
+                ):
+                    errors.append(f"line {lineno}: unknown TYPE {parts[3]!r}")
+                types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: malformed sample {line!r}")
+            continue
+        name = match.group("name")
+        labels = match.group("labels")
+        if labels:
+            body = labels[1:-1]
+            if body:
+                for pair in body.split(","):
+                    if not _LABEL.match(pair.strip()):
+                        errors.append(f"line {lineno}: malformed label {pair!r}")
+        family = name
+        for suffix in ("_total", "_bucket", "_sum", "_count", "_created"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        declared = types.get(family)
+        if declared is None:
+            errors.append(f"line {lineno}: sample {name!r} has no TYPE declaration")
+            continue
+        if declared == "counter" and not name.endswith(("_total", "_created")):
+            errors.append(
+                f"line {lineno}: counter sample {name!r} must use the _total suffix"
+            )
+        if declared == "histogram" and name == family:
+            errors.append(
+                f"line {lineno}: bare histogram sample {name!r} "
+                "(expected _bucket/_sum/_count)"
+            )
+    if errors:
+        raise ValueError("invalid OpenMetrics payload:\n" + "\n".join(errors))
+
+
+class TelemetryServer:
+    """Daemon-thread HTTP endpoint for live metrics.
+
+    Routes: ``/metrics`` (OpenMetrics text), ``/telemetry.json`` (the
+    sampler's in-memory ring as a JSON array) and ``/`` (the
+    self-refreshing HTML dashboard).  Binds to ``127.0.0.1`` only —
+    this is a local observability endpoint, not a public service.
+    Pass ``port=0`` for a free ephemeral port; the bound port is
+    available as :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(self, port: int = 9464, sampler=None, host: str = "127.0.0.1") -> None:
+        self._requested_port = int(port)
+        self.host = host
+        self.sampler = sampler
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The actual bound port (meaningful after :meth:`start`)."""
+        if self._httpd is not None:
+            return int(self._httpd.server_address[1])
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        if self._httpd is not None:
+            return self
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def _send(self, status: int, content_type: str, body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                try:
+                    if path == "/metrics":
+                        body = server.render_metrics().encode("utf-8")
+                        self._send(200, CONTENT_TYPE, body)
+                    elif path == "/telemetry.json":
+                        samples = (
+                            server.sampler.samples() if server.sampler else []
+                        )
+                        body = json.dumps(samples, default=str).encode("utf-8")
+                        self._send(200, "application/json; charset=utf-8", body)
+                    elif path in ("/", "/index.html"):
+                        from repro.obs import dashboard as _dashboard
+
+                        body = _dashboard.render_dashboard_html(
+                            server.sampler.samples() if server.sampler else [],
+                            refresh_seconds=2,
+                        ).encode("utf-8")
+                        self._send(200, "text/html; charset=utf-8", body)
+                    else:
+                        self._send(404, "text/plain; charset=utf-8", b"not found\n")
+                except BrokenPipeError:  # client went away mid-response
+                    pass
+                except Exception as exc:  # never kill the serving thread
+                    _log.warning(
+                        "telemetry request failed",
+                        extra={"fields": {"path": path, "error": repr(exc)}},
+                    )
+                    try:
+                        self._send(
+                            500, "text/plain; charset=utf-8", b"internal error\n"
+                        )
+                    except OSError:
+                        pass
+
+            def log_message(self, format: str, *args) -> None:
+                _log.debug(
+                    "http " + format % args if args else "http " + format,
+                    extra={"fields": {"client": self.client_address[0]}},
+                )
+
+        self._httpd = ThreadingHTTPServer((self.host, self._requested_port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info(
+            "telemetry server listening",
+            extra={"fields": {"url": self.url}},
+        )
+        return self
+
+    def render_metrics(self) -> str:
+        """The exposition payload for the current process state."""
+        extra: Dict[str, float] = {}
+        alerts: Optional[Dict[str, bool]] = None
+        if self.sampler is not None:
+            latest = self.sampler.latest()
+            if latest:
+                process = latest.get("process") or {}
+                if isinstance(process, dict):
+                    rss = process.get("rss_bytes")
+                    if isinstance(rss, (int, float)):
+                        extra["process_rss_bytes"] = float(rss)
+                    cpu = process.get("cpu_seconds")
+                    if isinstance(cpu, (int, float)):
+                        extra["process_cpu_seconds"] = float(cpu)
+                derived = latest.get("derived") or {}
+                if isinstance(derived, dict):
+                    for key, value in derived.items():
+                        if isinstance(value, (int, float)):
+                            extra[f"derived_{key}"] = float(value)
+            alerts = self.sampler.alert_states
+        return render(extra_gauges=extra, alert_states=alerts)
+
+    def stop(self) -> None:
+        httpd = self._httpd
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+            self._httpd = None
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()

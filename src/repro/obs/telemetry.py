@@ -1,0 +1,470 @@
+"""Live telemetry: background sampler, JSONL ring and threshold alerts.
+
+Everything else in :mod:`repro.obs` is post-hoc — manifests, history
+and reports only exist after a run finishes.  This module provides the
+*live* half for long-running workloads (fault campaigns, tiled sweeps,
+the future serving layer):
+
+* :func:`build_sample` — one point-in-time telemetry sample: process
+  RSS/CPU, the full counter/gauge snapshot, per-histogram streaming
+  quantiles (p50/p95/p99 from the bucket sketch), derived rates
+  (tasks/s, retries/s, mapping-cache hit rate), campaign progress/ETA
+  and the currently-open spans;
+* :class:`TelemetrySampler` — a daemon thread writing one sample per
+  ``REPRO_TELEMETRY_INTERVAL`` seconds to an append-only
+  ``runs/<run>-telemetry.jsonl`` file while keeping a bounded
+  in-memory ring for the dashboard and the ``/telemetry.json``
+  endpoint;
+* :class:`AlertEvaluator` — small threshold rules (queue depth, task
+  retry rate, RSS ceiling) evaluated per sample, emitting structured
+  log events on every state transition.
+
+The sampler is opt-in (``REPRO_TELEMETRY=1`` or the CLI's embedded
+start-up); with it off, nothing here runs and the existing <5%
+disabled-overhead guarantee is untouched.  Serving the samples over
+HTTP is :mod:`repro.obs.openmetrics`'s job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import knobs
+from repro.obs import metrics as _metrics
+from repro.obs import trace as _trace
+from repro.obs.log import get_logger
+
+__all__ = [
+    "TELEMETRY_ENV",
+    "TELEMETRY_PORT_ENV",
+    "TELEMETRY_INTERVAL_ENV",
+    "QUANTILE_POINTS",
+    "AlertRule",
+    "AlertEvaluator",
+    "DEFAULT_ALERTS",
+    "TelemetrySampler",
+    "build_sample",
+    "process_rss_bytes",
+    "process_cpu_seconds",
+    "telemetry_enabled",
+    "telemetry_interval",
+    "telemetry_port",
+]
+
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+"""Set to ``1`` to start the sampler + exposition endpoint for a run."""
+
+TELEMETRY_PORT_ENV = "REPRO_TELEMETRY_PORT"
+"""Exposition endpoint port (``0`` = pick a free ephemeral port)."""
+
+TELEMETRY_INTERVAL_ENV = "REPRO_TELEMETRY_INTERVAL"
+"""Seconds between telemetry samples."""
+
+QUANTILE_POINTS: Tuple[float, ...] = (0.5, 0.95, 0.99)
+"""Quantiles reported for every registry histogram in each sample."""
+
+_log = get_logger("obs.telemetry")
+
+_PAGE_SIZE = os.sysconf("SC_PAGE_SIZE") if hasattr(os, "sysconf") else 4096
+
+
+def telemetry_enabled() -> bool:
+    """Whether ``REPRO_TELEMETRY`` asks for the live layer."""
+    return knobs.get_bool(TELEMETRY_ENV)
+
+
+def telemetry_port() -> int:
+    """The configured exposition port (default 9464, ``0`` = ephemeral)."""
+    value = knobs.get_int(TELEMETRY_PORT_ENV)
+    return int(value) if value is not None else 9464
+
+
+def telemetry_interval() -> float:
+    """Seconds between samples (floored at 50ms to bound self-load)."""
+    value = knobs.get_float(TELEMETRY_INTERVAL_ENV)
+    return max(0.05, float(value) if value is not None else 1.0)
+
+
+def process_rss_bytes() -> Optional[int]:
+    """Current resident set size of this process, or ``None``.
+
+    Reads ``/proc/self/statm`` (Linux); falls back to the
+    ``resource`` peak RSS (a high-water mark, not the live value) on
+    other platforms, and ``None`` when neither source exists.
+    """
+    try:
+        with open("/proc/self/statm", encoding="ascii") as fh:
+            fields = fh.read().split()
+        return int(fields[1]) * _PAGE_SIZE
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        peak_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        return int(peak_kib) * 1024
+    except Exception:  # pragma: no cover - platform without getrusage
+        return None
+
+
+def process_cpu_seconds() -> float:
+    """User+system CPU seconds consumed by this process so far."""
+    times = os.times()
+    return float(times.user + times.system)
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One threshold condition over a sample field.
+
+    ``field`` is a dotted path into the sample dict (e.g.
+    ``gauges.executor_queue_depth`` or ``derived.resilient_retry_rate``);
+    a missing field never fires.
+    """
+
+    name: str
+    field: str
+    op: str
+    threshold: float
+    description: str
+
+    def __post_init__(self) -> None:
+        if self.op not in (">", ">=", "<", "<="):
+            raise ValueError(f"unknown alert comparator {self.op!r}")
+
+    def value_from(self, sample: Dict[str, object]) -> Optional[float]:
+        node: object = sample
+        for part in self.field.split("."):
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        if isinstance(node, bool) or not isinstance(node, (int, float)):
+            return None
+        return float(node)
+
+    def firing(self, sample: Dict[str, object]) -> bool:
+        value = self.value_from(sample)
+        if value is None:
+            return False
+        if self.op == ">":
+            return value > self.threshold
+        if self.op == ">=":
+            return value >= self.threshold
+        if self.op == "<":
+            return value < self.threshold
+        return value <= self.threshold
+
+
+DEFAULT_ALERTS: Tuple[AlertRule, ...] = (
+    AlertRule(
+        "executor-queue-depth",
+        "gauges.executor_queue_depth",
+        ">",
+        1000.0,
+        "More than 1000 tasks waiting on the executor: the run is "
+        "submitting faster than workers drain.",
+    ),
+    AlertRule(
+        "task-retry-rate",
+        "derived.resilient_retry_rate",
+        ">",
+        0.5,
+        "Resilient executor retrying/resubmitting more than one task "
+        "every 2s: workers are failing or being killed.",
+    ),
+    AlertRule(
+        "rss-ceiling",
+        "process.rss_bytes",
+        ">",
+        6 * 1024 ** 3,
+        "Process resident memory above 6 GiB: a sweep is holding too "
+        "many trained systems or trial stacks alive.",
+    ),
+)
+"""The stock alert set: queue depth, retry rate, memory ceiling."""
+
+
+class AlertEvaluator:
+    """Evaluate threshold rules per sample; log every state change."""
+
+    def __init__(self, rules: Sequence[AlertRule] = DEFAULT_ALERTS) -> None:
+        self.rules = tuple(rules)
+        self.states: Dict[str, bool] = {rule.name: False for rule in self.rules}
+
+    def evaluate(self, sample: Dict[str, object]) -> Dict[str, bool]:
+        """Update alert states from ``sample``; returns the new states.
+
+        Transitions emit structured log events (``warning`` on fire,
+        ``info`` on clear) and bump the ``telemetry_alerts_fired``
+        counter, so alert history survives in the JSONL log sink and
+        the run manifest even if nobody watched the dashboard live.
+        """
+        for rule in self.rules:
+            firing = rule.firing(sample)
+            if firing and not self.states[rule.name]:
+                _metrics.counter("telemetry_alerts_fired").inc()
+                _log.warning(
+                    "alert firing",
+                    extra={"fields": {
+                        "alert": rule.name,
+                        "field": rule.field,
+                        "value": rule.value_from(sample),
+                        "threshold": rule.threshold,
+                        "description": rule.description,
+                    }},
+                )
+            elif not firing and self.states[rule.name]:
+                _log.info(
+                    "alert cleared",
+                    extra={"fields": {"alert": rule.name, "field": rule.field}},
+                )
+            self.states[rule.name] = firing
+        return dict(self.states)
+
+
+def _histogram_digest(
+    summaries: Dict[str, Dict[str, object]],
+) -> Dict[str, Dict[str, float]]:
+    """Compact per-histogram view: count/mean plus the quantile points."""
+    digest: Dict[str, Dict[str, float]] = {}
+    for name, summary in summaries.items():
+        if not summary or not summary.get("count"):
+            continue
+        entry = {
+            "count": float(summary["count"]),
+            "mean": float(summary["mean"]),
+            "max": float(summary["max"]),
+        }
+        for q in QUANTILE_POINTS:
+            label = f"p{str(round(q * 100, 1)).rstrip('0').rstrip('.')}"
+            entry[label] = _metrics.quantile_from_summary(summary, q)
+        digest[name] = entry
+    return digest
+
+
+def _derived_fields(
+    counters: Dict[str, float],
+    gauges: Dict[str, float],
+    previous: Optional[Dict[str, object]],
+    now: float,
+) -> Dict[str, float]:
+    """Rates and ratios computed from the raw snapshot.
+
+    Rates need a previous sample; the first sample reports only the
+    ratio-style fields (hit rates, progress).
+    """
+    derived: Dict[str, float] = {}
+    hits = counters.get("mapping_cache_hits", 0.0)
+    misses = counters.get("mapping_cache_misses", 0.0)
+    if hits + misses > 0:
+        derived["mapping_cache_hit_rate"] = hits / (hits + misses)
+    total = gauges.get("campaign_cells_total", 0.0)
+    done = counters.get("campaign_cells", 0.0)
+    if total > 0:
+        progress = min(1.0, done / total)
+        derived["campaign_progress"] = progress
+        started = gauges.get("campaign_started_unixtime", 0.0)
+        if done > 0 and started > 0 and now > started:
+            per_cell = (now - started) / done
+            derived["campaign_eta_seconds"] = max(0.0, (total - done) * per_cell)
+    if previous is not None:
+        elapsed = now - float(previous.get("ts", now))
+        if elapsed > 0:
+            prev_counters = previous.get("counters")
+            prev_counters = prev_counters if isinstance(prev_counters, dict) else {}
+            for name, rate_name in (
+                ("executor_tasks", "executor_task_rate"),
+                ("mc_trials_evaluated", "mc_trial_rate"),
+                ("crossbar_macs", "crossbar_mac_rate"),
+                ("forward_passes", "forward_pass_rate"),
+            ):
+                delta = counters.get(name, 0.0) - float(prev_counters.get(name, 0.0))
+                if delta > 0:
+                    derived[rate_name] = delta / elapsed
+            retry_like = sum(
+                counters.get(name, 0.0) - float(prev_counters.get(name, 0.0))
+                for name in (
+                    "resilient_retries",
+                    "resilient_timeouts",
+                    "resilient_crashes",
+                    "resilient_resubmissions",
+                )
+            )
+            derived["resilient_retry_rate"] = max(0.0, retry_like) / elapsed
+            prev_process = previous.get("process")
+            prev_process = prev_process if isinstance(prev_process, dict) else {}
+            prev_cpu = prev_process.get("cpu_seconds")
+            if isinstance(prev_cpu, (int, float)):
+                cpu_delta = process_cpu_seconds() - float(prev_cpu)
+                derived["cpu_utilization"] = max(0.0, cpu_delta) / elapsed
+    return derived
+
+
+def build_sample(
+    previous: Optional[Dict[str, object]] = None,
+    registry: Optional[_metrics.MetricsRegistry] = None,
+) -> Dict[str, object]:
+    """One point-in-time telemetry sample (JSON-safe dict).
+
+    Fields: ``ts``, ``process`` (rss/cpu), ``counters``/``gauges`` (the
+    raw snapshot), ``histograms`` (count/mean/max + p50/p95/p99 from
+    the streaming sketch), ``derived`` (rates, hit rates, campaign
+    progress/ETA), and ``active_spans`` (open span paths + elapsed,
+    when tracing is on).
+    """
+    registry = registry if registry is not None else _metrics.REGISTRY
+    snap = registry.snapshot()
+    now = time.time()
+    counters = {k: float(v) for k, v in snap["counters"].items()}
+    gauges = {k: float(v) for k, v in snap["gauges"].items()}
+    sample: Dict[str, object] = {
+        "ts": now,
+        "process": {
+            "pid": os.getpid(),
+            "rss_bytes": process_rss_bytes(),
+            "cpu_seconds": process_cpu_seconds(),
+        },
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": _histogram_digest(snap["histograms"]),
+        "derived": _derived_fields(counters, gauges, previous, now),
+        "active_spans": [
+            {"path": info["path"], "elapsed": round(float(info["elapsed"]), 3)}
+            for info in _trace.active_spans()
+        ],
+    }
+    return sample
+
+
+class TelemetrySampler:
+    """Background thread appending samples to a JSONL ring.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples (default ``REPRO_TELEMETRY_INTERVAL``).
+    run_dir:
+        Directory for the ``<stamp>-<experiment>-telemetry.jsonl`` file
+        (default ``REPRO_RUN_DIR`` / ``runs``); ``path`` overrides the
+        full file path.  ``run_dir=None`` with ``path=None`` resolves
+        the knob like run manifests do.
+    experiment:
+        Run label embedded in the filename and every sample.
+    ring_size:
+        Bound on the in-memory sample ring the dashboard reads.
+    alerts:
+        Threshold rules (default :data:`DEFAULT_ALERTS`).
+    """
+
+    def __init__(
+        self,
+        interval: Optional[float] = None,
+        run_dir: "Optional[str | pathlib.Path]" = None,
+        experiment: str = "run",
+        path: "Optional[str | pathlib.Path]" = None,
+        ring_size: int = 600,
+        alerts: Sequence[AlertRule] = DEFAULT_ALERTS,
+        registry: Optional[_metrics.MetricsRegistry] = None,
+    ) -> None:
+        self.interval = float(interval) if interval is not None else telemetry_interval()
+        if self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+        self.experiment = experiment
+        self.ring: Deque[Dict[str, object]] = deque(maxlen=max(2, int(ring_size)))
+        self.evaluator = AlertEvaluator(alerts)
+        self._registry = registry
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._last: Optional[Dict[str, object]] = None
+        self._jitter = _metrics.P2Quantile(0.99)
+        if path is not None:
+            self.path = pathlib.Path(path)
+        else:
+            if run_dir is None:
+                run_dir = knobs.get_path("REPRO_RUN_DIR") or "runs"
+            stamp = time.strftime("%Y%m%dT%H%M%S")
+            self.path = pathlib.Path(run_dir) / f"{stamp}-{experiment}-telemetry.jsonl"
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "TelemetrySampler":
+        """Start the daemon sampler thread (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+        _log.info(
+            "telemetry sampler started",
+            extra={"fields": {"path": os.fspath(self.path),
+                              "interval": self.interval}},
+        )
+        return self
+
+    def stop(self) -> None:
+        """Stop the thread, taking one final sample for the ring/file."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=max(2.0, 4 * self.interval))
+            self._thread = None
+        self.sample_once()
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # -- sampling -----------------------------------------------------
+
+    def sample_once(self) -> Dict[str, object]:
+        """Take, record and return one sample (also used by tests)."""
+        sample = build_sample(self._last, registry=self._registry)
+        sample["experiment"] = self.experiment
+        sample["alerts"] = self.evaluator.evaluate(sample)
+        self._last = sample
+        self.ring.append(sample)
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(sample, default=str) + "\n")
+        except OSError:
+            _log.warning(
+                "telemetry append failed",
+                extra={"fields": {"path": os.fspath(self.path)}},
+            )
+        return sample
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            t0 = time.perf_counter()
+            self.sample_once()
+            self._jitter.observe(time.perf_counter() - t0)
+
+    # -- views --------------------------------------------------------
+
+    def samples(self) -> List[Dict[str, object]]:
+        """The in-memory ring, oldest first."""
+        return list(self.ring)
+
+    def latest(self) -> Optional[Dict[str, object]]:
+        return self.ring[-1] if self.ring else None
+
+    @property
+    def alert_states(self) -> Dict[str, bool]:
+        return dict(self.evaluator.states)
+
+    def sampling_cost_p99(self) -> float:
+        """P² p99 of one sample's own cost (self-overhead telemetry)."""
+        return self._jitter.value

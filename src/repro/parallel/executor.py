@@ -142,6 +142,29 @@ class _ObsTask:
         return outcome
 
 
+def _drain(pool, task: Callable, items: Sequence) -> List[_TaskOutcome]:
+    """Consume ``pool.map`` incrementally, tracking live queue depth.
+
+    The ``executor_queue_depth`` gauge counts tasks submitted but not
+    yet yielded; decrementing as the (order-preserving) iterator
+    yields lets the telemetry sampler and the ``/metrics`` endpoint
+    watch a sweep drain in real time instead of seeing one opaque
+    blocking call.
+    """
+    depth = obs_metrics.gauge("executor_queue_depth")
+    depth.add(len(items))
+    outcomes: List[_TaskOutcome] = []
+    try:
+        for outcome in pool.map(task, items):
+            outcomes.append(outcome)
+            depth.add(-1)
+    finally:
+        # On an exception (e.g. BrokenProcessPool) the unfinished
+        # remainder never yields; settle the gauge before unwinding.
+        depth.add(-(len(items) - len(outcomes)))
+    return outcomes
+
+
 def _harvest(
     outcomes: Sequence[_TaskOutcome], workers: int, wall_seconds: float, kind: str
 ) -> List:
@@ -220,7 +243,7 @@ class ThreadExecutor(Executor):
             task = _ObsTask(fn)
             t0 = time.perf_counter()
             with ThreadPoolExecutor(max_workers=pool_size) as pool:
-                outcomes = list(pool.map(task, items))
+                outcomes = _drain(pool, task, items)
             return _harvest(outcomes, pool_size, time.perf_counter() - t0, "thread")
 
 
@@ -271,7 +294,7 @@ class ProcessExecutor(Executor):
                 task = _ObsTask(fn)
                 t0 = time.perf_counter()
                 with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                    outcomes = list(pool.map(task, items))
+                    outcomes = _drain(pool, task, items)
                 return _harvest(outcomes, pool_size, time.perf_counter() - t0, "process")
         except BrokenProcessPool:
             warnings.warn(
@@ -314,7 +337,7 @@ class ProcessExecutor(Executor):
                                     tasks=len(items), workers=pool_size):
                     t0 = time.perf_counter()
                     with ProcessPoolExecutor(max_workers=pool_size) as pool:
-                        outcomes = list(pool.map(shm_mod.ShmCall(task_blob), item_blobs))
+                        outcomes = _drain(pool, shm_mod.ShmCall(task_blob), item_blobs)
                     return _harvest(
                         outcomes, pool_size, time.perf_counter() - t0, "process-shm"
                     )

@@ -263,6 +263,7 @@ def _pooled(
     """
     pending: Dict[int, int] = {i: 0 for i in range(len(items))}
     leftover: Dict[int, int] = {}
+    depth = obs_metrics.gauge("executor_queue_depth")
     incidents = 0
     failure_rounds = 0
     while pending:
@@ -280,6 +281,8 @@ def _pooled(
         pool = pool_cls(max_workers=min(workers, len(pending)))
         task = _ObsTask(fn)
         future_index = {pool.submit(task, items[i]): i for i in sorted(pending)}
+        in_flight = len(future_index)
+        depth.add(in_flight)
         incident = None  # "crash" | "stall"
         retriers: Dict[int, int] = {}
         try:
@@ -300,6 +303,8 @@ def _pooled(
                     break
                 for future in done:
                     index = future_index[future]
+                    in_flight -= 1
+                    depth.add(-1)
                     try:
                         outcome = future.result()
                     except cf.BrokenExecutor:
@@ -341,6 +346,7 @@ def _pooled(
         # the GC and move on (cancel what never started).
         graceful = incident is None
         pool.shutdown(wait=graceful, cancel_futures=True)
+        depth.add(-in_flight)  # futures abandoned with the pool
         if incident is not None:
             incidents += 1
             report.pool_rebuilds += 1
@@ -353,6 +359,8 @@ def _pooled(
                     del pending[index]
                 else:
                     pending[index] = attempts
+            if pending:
+                obs_metrics.counter("resilient_resubmissions").inc(len(pending))
         if pending and (incident is not None or retriers):
             time.sleep(policy.sleep_for(failure_rounds))
             failure_rounds += 1

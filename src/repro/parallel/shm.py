@@ -109,15 +109,20 @@ class ShmSession:
         self._by_buffer[key] = ref
         obs_metrics.counter("shm_segments").inc()
         obs_metrics.counter("shm_bytes").inc(contiguous.nbytes)
+        obs_metrics.gauge("shm_active_bytes").add(contiguous.nbytes)
         return ref
 
     def close(self) -> None:
+        released = 0
         for segment in self._segments:
             try:
+                released += segment.size
                 segment.close()
                 segment.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+        if released:
+            obs_metrics.gauge("shm_active_bytes").add(-released)
         self._segments.clear()
         self._by_buffer.clear()
 

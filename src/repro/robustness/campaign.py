@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import signal
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -457,6 +458,9 @@ def run_campaign(
         extra={"fields": {"cells": len(tasks), "scale": scale.name,
                           "chaos": chaos, "seed": seed}},
     )
+    # Progress gauges the telemetry sampler turns into percent + ETA.
+    obs_metrics.gauge("campaign_cells_total").set(len(tasks))
+    obs_metrics.gauge("campaign_started_unixtime").set(time.time())
     with span("fault_campaign", cells=len(tasks), scale=scale.name, chaos=chaos):
         outcome = resilient_map(
             _campaign_cell, tasks, workers=workers, kind=kind, policy=policy

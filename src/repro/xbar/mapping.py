@@ -29,7 +29,7 @@ import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -46,6 +46,7 @@ __all__ = [
     "map_matrix",
     "clear_mapping_cache",
     "mapping_cache_size",
+    "mapping_cache_stats",
     "MAPPING_CACHE_CAPACITY",
 ]
 
@@ -135,6 +136,7 @@ def clear_mapping_cache() -> None:
     """Drop every cached mapping solution (tests, memory pressure)."""
     with _cache_lock:
         _MAPPING_CACHE.clear()
+        obs_metrics.gauge("mapping_cache_entries").set(0)
 
 
 def mapping_cache_size() -> int:
@@ -156,6 +158,26 @@ def _cache_put(key: tuple, value: Tuple[float, np.ndarray, np.ndarray]) -> None:
         _MAPPING_CACHE[key] = value
         while len(_MAPPING_CACHE) > MAPPING_CACHE_CAPACITY:
             _MAPPING_CACHE.popitem(last=False)
+        obs_metrics.gauge("mapping_cache_entries").set(len(_MAPPING_CACHE))
+
+
+def mapping_cache_stats() -> Dict[str, float]:
+    """Live cache effectiveness view (dashboard / manifest helper).
+
+    Hit/miss totals come from the process-wide metrics registry, so
+    after a ``ProcessExecutor`` sweep they include the workers'
+    lookups (shipped home with each task's metric diff).
+    """
+    snap = obs_metrics.snapshot()["counters"]
+    hits = float(snap.get("mapping_cache_hits", 0.0))
+    misses = float(snap.get("mapping_cache_misses", 0.0))
+    total = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "size": float(mapping_cache_size()),
+        "hit_rate": hits / total if total else 0.0,
+    }
 
 
 def _choose_scale(weights: np.ndarray, config: MappingConfig, base: float) -> float:

@@ -46,6 +46,9 @@ class TestRegistry:
             "REPRO_TASK_RETRIES",
             "REPRO_DTYPE",
             "REPRO_SHM",
+            "REPRO_TELEMETRY",
+            "REPRO_TELEMETRY_PORT",
+            "REPRO_TELEMETRY_INTERVAL",
         }
 
 

@@ -1,0 +1,466 @@
+"""Tests for the live-telemetry layer.
+
+Covers the streaming quantile sketches (bucket histogram + P²), metric
+registry thread safety and cross-process histogram merge, the
+telemetry sampler/ring/alerts, the OpenMetrics exposition renderer and
+validator, the HTTP endpoint, the dashboard renderers, and the CLI
+smoke path that scrapes a live run.
+"""
+
+import io
+import json
+import threading
+import time
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.obs import dashboard as obs_dashboard
+from repro.obs import metrics as obs_metrics
+from repro.obs import openmetrics as obs_openmetrics
+from repro.obs import telemetry as obs_telemetry
+from repro.obs import trace as obs_trace
+from repro.obs.trace import span
+from repro.parallel import ProcessExecutor, ThreadExecutor, parallel_map
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Isolate the process-wide trace/metrics state per test."""
+    was_enabled = obs_trace.enabled()
+    obs_trace.clear()
+    obs_metrics.clear()
+    yield
+    obs_trace.enable(was_enabled)
+    obs_trace.clear()
+    obs_metrics.clear()
+
+
+class TestQuantileSketch:
+    def test_bucket_quantiles_track_numpy(self):
+        rng = np.random.default_rng(7)
+        samples = rng.lognormal(mean=-3.0, sigma=1.0, size=20_000)
+        hist = obs_metrics.Histogram()
+        hist.observe_many(samples)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = float(np.quantile(samples, q))
+            estimate = hist.quantile(q)
+            # Bucket resolution is 1-2.5-5 per decade: the estimate
+            # must land within the right bucket (~2.5x), and in
+            # practice interpolation keeps it far tighter.
+            assert estimate == pytest.approx(exact, rel=0.25)
+
+    def test_quantiles_named_keys_and_bounds(self):
+        hist = obs_metrics.Histogram()
+        hist.observe_many([0.01] * 50 + [0.02] * 50)
+        qs = hist.quantiles()
+        assert set(qs) == {"p50", "p95", "p99"}
+        assert 0.01 <= qs["p50"] <= qs["p95"] <= qs["p99"] <= 0.02
+
+    def test_empty_histogram_quantile_is_nan(self):
+        assert np.isnan(obs_metrics.Histogram().quantile(0.5))
+
+    def test_summary_carries_buckets(self):
+        hist = obs_metrics.Histogram()
+        hist.observe(0.3)
+        summary = hist.summary()
+        assert sum(summary["buckets"]) == 1
+        assert len(summary["buckets"]) == len(obs_metrics.BUCKET_BOUNDS)
+
+    def test_sketchless_summary_falls_back_to_extrema(self):
+        legacy = {"count": 10, "sum": 5.0, "min": 0.1, "max": 0.9}
+        assert obs_metrics.quantile_from_summary(legacy, 0.5) == 0.1
+        assert obs_metrics.quantile_from_summary(legacy, 0.99) == 0.9
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            obs_metrics.quantile_from_summary({"count": 1}, 1.5)
+
+    def test_p2_estimator_tracks_numpy(self):
+        rng = np.random.default_rng(3)
+        samples = rng.normal(10.0, 2.0, size=5_000)
+        p2 = obs_metrics.P2Quantile(0.95)
+        for value in samples:
+            p2.observe(value)
+        assert p2.value == pytest.approx(float(np.quantile(samples, 0.95)), rel=0.02)
+
+    def test_p2_exact_under_five_samples(self):
+        p2 = obs_metrics.P2Quantile(0.5)
+        assert np.isnan(p2.value)
+        for value in (3.0, 1.0, 2.0):
+            p2.observe(value)
+        assert p2.value == 2.0
+
+    def test_p2_rejects_degenerate_quantile(self):
+        with pytest.raises(ValueError):
+            obs_metrics.P2Quantile(0.0)
+
+
+class TestRegistryThreadSafety:
+    def test_concurrent_observe_and_inc_lose_nothing(self):
+        registry = obs_metrics.MetricsRegistry()
+        per_thread, threads = 2_000, 8
+        barrier = threading.Barrier(threads)
+
+        def hammer(thread_index: int) -> None:
+            barrier.wait()
+            counter = registry.counter("hits")
+            hist = registry.histogram("lat")
+            gauge = registry.gauge("depth")
+            for i in range(per_thread):
+                counter.inc()
+                hist.observe(0.001 * ((thread_index + i) % 10 + 1))
+                gauge.add(1)
+                gauge.add(-1)
+
+        workers = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        snap = registry.snapshot()
+        total = per_thread * threads
+        assert snap["counters"]["hits"] == total
+        assert snap["histograms"]["lat"]["count"] == total
+        assert sum(snap["histograms"]["lat"]["buckets"]) == total
+        assert snap["gauges"]["depth"] == 0.0
+
+
+def _latency_task(args):
+    """Worker task observing synthetic latencies (module-level: picklable)."""
+    index, values = args
+    hist = obs_metrics.histogram("task_latency_seconds")
+    for value in values:
+        hist.observe(value)
+    return index
+
+
+class TestCrossProcessHistogramMerge:
+    def test_worker_buckets_merge_home_exactly(self):
+        """Mirror of the span-merge test for histogram sketches."""
+        values = [[0.001 * (i + 1)] * 5 for i in range(4)]
+        results = ProcessExecutor(2).map(
+            _latency_task, list(enumerate(values))
+        )
+        assert sorted(results) == [0, 1, 2, 3]
+        summary = obs_metrics.snapshot()["histograms"]["task_latency_seconds"]
+        assert summary["count"] == 20
+        assert sum(summary["buckets"]) == 20
+        assert summary["min"] == pytest.approx(0.001)
+        assert summary["max"] == pytest.approx(0.004)
+        # The merged sketch answers quantiles just like a serial run.
+        assert 0.001 <= obs_metrics.quantile_from_summary(summary, 0.5) <= 0.004
+
+    def test_serial_and_parallel_sketches_agree(self):
+        values = [[0.01 * (i + 1)] for i in range(6)]
+        ProcessExecutor(2).map(_latency_task, list(enumerate(values)))
+        parallel_summary = obs_metrics.snapshot()["histograms"][
+            "task_latency_seconds"
+        ]
+        obs_metrics.clear()
+        for task in enumerate(values):
+            _latency_task(task)
+        serial_summary = obs_metrics.snapshot()["histograms"][
+            "task_latency_seconds"
+        ]
+        assert parallel_summary["buckets"] == serial_summary["buckets"]
+        assert parallel_summary["count"] == serial_summary["count"]
+
+
+class TestQueueDepthGauge:
+    def test_depth_settles_to_zero_after_map(self):
+        parallel_map(_noop_task, list(range(6)), workers=2, executor=ThreadExecutor(2))
+        snap = obs_metrics.snapshot()
+        assert snap["gauges"]["executor_queue_depth"] == 0.0
+        assert snap["counters"]["executor_tasks"] == 6.0
+
+
+def _noop_task(x):
+    return x
+
+
+class TestAlerts:
+    def test_rule_fires_clears_and_counts(self):
+        rule = obs_telemetry.AlertRule(
+            "depth", "gauges.executor_queue_depth", ">", 10.0, "too deep"
+        )
+        evaluator = obs_telemetry.AlertEvaluator([rule])
+        states = evaluator.evaluate({"gauges": {"executor_queue_depth": 50}})
+        assert states == {"depth": True}
+        assert obs_metrics.snapshot()["counters"]["telemetry_alerts_fired"] == 1.0
+        states = evaluator.evaluate({"gauges": {"executor_queue_depth": 2}})
+        assert states == {"depth": False}
+        # Re-clearing is not a transition: the counter stays at 1.
+        evaluator.evaluate({"gauges": {"executor_queue_depth": 1}})
+        assert obs_metrics.snapshot()["counters"]["telemetry_alerts_fired"] == 1.0
+
+    def test_missing_field_never_fires(self):
+        rule = obs_telemetry.AlertRule("rss", "process.rss_bytes", ">", 1.0, "x")
+        assert not rule.firing({"process": {}})
+        assert not rule.firing({})
+
+    def test_bad_comparator_rejected(self):
+        with pytest.raises(ValueError):
+            obs_telemetry.AlertRule("x", "a.b", "!=", 0.0, "x")
+
+    def test_default_rules_cover_issue_conditions(self):
+        fields = {rule.field for rule in obs_telemetry.DEFAULT_ALERTS}
+        assert "gauges.executor_queue_depth" in fields
+        assert "derived.resilient_retry_rate" in fields
+        assert "process.rss_bytes" in fields
+
+
+class TestTelemetrySampler:
+    def test_sample_shape_and_jsonl_file(self, tmp_path):
+        obs_metrics.histogram("forward_latency_seconds").observe(0.01)
+        obs_metrics.counter("mapping_cache_hits").inc(3)
+        obs_metrics.counter("mapping_cache_misses").inc(1)
+        sampler = obs_telemetry.TelemetrySampler(
+            interval=0.05, path=tmp_path / "t.jsonl", experiment="unit"
+        )
+        first = sampler.sample_once()
+        second = sampler.sample_once()
+        assert first["experiment"] == "unit"
+        assert first["process"]["cpu_seconds"] >= 0.0
+        assert first["histograms"]["forward_latency_seconds"]["count"] == 1.0
+        assert first["derived"]["mapping_cache_hit_rate"] == pytest.approx(0.75)
+        assert "resilient_retry_rate" in second["derived"]
+        lines = (tmp_path / "t.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["experiment"] == "unit"
+
+    def test_campaign_progress_and_eta(self, tmp_path):
+        obs_metrics.gauge("campaign_cells_total").set(10)
+        obs_metrics.gauge("campaign_started_unixtime").set(time.time() - 5.0)
+        obs_metrics.counter("campaign_cells").inc(5)
+        sampler = obs_telemetry.TelemetrySampler(
+            interval=1.0, path=tmp_path / "t.jsonl"
+        )
+        derived = sampler.sample_once()["derived"]
+        assert derived["campaign_progress"] == pytest.approx(0.5)
+        assert derived["campaign_eta_seconds"] == pytest.approx(5.0, rel=0.3)
+
+    def test_background_thread_fills_ring(self, tmp_path):
+        sampler = obs_telemetry.TelemetrySampler(
+            interval=0.02, path=tmp_path / "t.jsonl", ring_size=4
+        )
+        with sampler:
+            time.sleep(0.15)
+        assert 2 <= len(sampler.samples()) <= 4  # ring is bounded
+        assert sampler.latest() is not None
+
+    def test_active_spans_visible_in_sample(self, tmp_path):
+        obs_trace.enable(True)
+        sampler = obs_telemetry.TelemetrySampler(
+            interval=1.0, path=tmp_path / "t.jsonl"
+        )
+        with span("outer"), span("inner"):
+            sample = sampler.sample_once()
+        paths = [info["path"] for info in sample["active_spans"]]
+        assert paths == ["outer", "outer/inner"]
+        assert sampler.sample_once()["active_spans"] == []
+
+    def test_rejects_nonpositive_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            obs_telemetry.TelemetrySampler(interval=0.0, path=tmp_path / "t.jsonl")
+
+    def test_process_probes(self):
+        rss = obs_telemetry.process_rss_bytes()
+        assert rss is None or rss > 0
+        assert obs_telemetry.process_cpu_seconds() >= 0.0
+
+
+class TestOpenMetricsRender:
+    def test_render_validates_and_contains_families(self):
+        obs_metrics.counter("executor_tasks").inc(5)
+        obs_metrics.gauge("executor_queue_depth").set(3)
+        hist = obs_metrics.histogram("forward_latency_seconds")
+        hist.observe_many([0.002, 0.004, 0.03])
+        text = obs_openmetrics.render(alert_states={"rss-ceiling": False})
+        obs_openmetrics.validate(text)
+        assert "repro_executor_tasks_total 5" in text
+        assert "repro_executor_queue_depth 3" in text
+        assert 'repro_forward_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_forward_latency_seconds_count 3" in text
+        assert 'repro_forward_latency_seconds_quantiles{quantile="0.5"}' in text
+        assert 'repro_forward_latency_seconds_quantiles{quantile="0.99"}' in text
+        assert 'repro_alert_state{alert="rss-ceiling"} 0' in text
+        assert text.endswith("# EOF\n")
+
+    def test_bucket_series_is_cumulative(self):
+        hist = obs_metrics.histogram("lat")
+        hist.observe_many([0.001, 0.001, 5000.0])
+        text = obs_openmetrics.render()
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_lat_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
+
+    def test_name_sanitization(self):
+        assert obs_openmetrics.metric_name("a b-c.d") == "repro_a_b_c_d"
+
+    def test_validator_rejects_missing_eof(self):
+        with pytest.raises(ValueError, match="EOF"):
+            obs_openmetrics.validate("# TYPE repro_x counter\nrepro_x_total 1\n")
+
+    def test_validator_rejects_undeclared_family(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            obs_openmetrics.validate("repro_x_total 1\n# EOF\n")
+
+    def test_validator_rejects_counter_without_total(self):
+        bad = "# TYPE repro_x counter\nrepro_x 1\n# EOF\n"
+        with pytest.raises(ValueError, match="_total"):
+            obs_openmetrics.validate(bad)
+
+    def test_validator_rejects_garbage_line(self):
+        bad = "# TYPE repro_x gauge\nrepro_x one\n# EOF\n"
+        with pytest.raises(ValueError, match="malformed"):
+            obs_openmetrics.validate(bad)
+
+
+class TestTelemetryServer:
+    def test_endpoints(self, tmp_path):
+        obs_metrics.gauge("executor_queue_depth").set(4)
+        obs_metrics.histogram("forward_latency_seconds").observe(0.01)
+        sampler = obs_telemetry.TelemetrySampler(
+            interval=1.0, path=tmp_path / "t.jsonl", experiment="srv"
+        )
+        sampler.sample_once()
+        with obs_openmetrics.TelemetryServer(port=0, sampler=sampler) as server:
+            with urllib.request.urlopen(server.url + "/metrics", timeout=5) as rsp:
+                assert rsp.headers["Content-Type"] == obs_openmetrics.CONTENT_TYPE
+                body = rsp.read().decode("utf-8")
+            obs_openmetrics.validate(body)
+            assert "repro_executor_queue_depth 4" in body
+            assert "repro_process_cpu_seconds" in body
+            ring = json.loads(
+                urllib.request.urlopen(
+                    server.url + "/telemetry.json", timeout=5
+                ).read()
+            )
+            assert len(ring) == 1 and ring[0]["experiment"] == "srv"
+            html = urllib.request.urlopen(server.url + "/", timeout=5).read()
+            assert b"<svg" in html and b"repro" in html
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(server.url + "/nope", timeout=5)
+
+    def test_ephemeral_port_allocation(self):
+        with obs_openmetrics.TelemetryServer(port=0) as server:
+            assert server.port > 0
+
+
+class TestDashboard:
+    def _sampler(self, tmp_path):
+        obs_metrics.gauge("executor_queue_depth").set(2)
+        obs_metrics.histogram("forward_latency_seconds").observe(0.02)
+        sampler = obs_telemetry.TelemetrySampler(
+            interval=1.0, path=tmp_path / "t.jsonl", experiment="dash"
+        )
+        sampler.sample_once()
+        sampler.sample_once()
+        return sampler
+
+    def test_top_text_frame(self, tmp_path):
+        frame = obs_dashboard.render_top_text(
+            self._sampler(tmp_path).samples(), clear=False
+        )
+        assert "repro top — dash" in frame
+        assert "queue depth" in frame
+        assert "forward_latency_seconds" in frame
+        assert "alerts: none" in frame
+
+    def test_top_text_empty_ring(self):
+        assert "no telemetry samples yet" in obs_dashboard.render_top_text(
+            [], clear=False
+        )
+
+    def test_html_dashboard(self, tmp_path):
+        html = obs_dashboard.render_dashboard_html(
+            self._sampler(tmp_path).samples(), refresh_seconds=3
+        )
+        assert "http-equiv='refresh' content='3'" in html
+        assert "<svg" in html
+        assert "forward_latency_seconds" in html
+
+    def test_run_top_once_writes_one_frame(self, tmp_path):
+        buf = io.StringIO()
+        obs_dashboard.run_top(
+            buf, sampler=self._sampler(tmp_path), iterations=1
+        )
+        assert buf.getvalue().count("repro top") == 1
+        assert "\x1b[2J" not in buf.getvalue()  # --once doesn't clear
+
+    def test_run_top_requires_source(self):
+        with pytest.raises(ValueError):
+            obs_dashboard.run_top(io.StringIO())
+
+
+class TestCLI:
+    def test_metrics_server_once_prints_valid_payload(self, capsys, tmp_path,
+                                                      monkeypatch):
+        monkeypatch.setenv("REPRO_RUN_DIR", str(tmp_path))
+        obs_metrics.counter("executor_tasks").inc()
+        assert main(["metrics-server", "--once"]) == 0
+        out = capsys.readouterr().out
+        obs_openmetrics.validate(out)
+        assert "repro_executor_tasks_total" in out
+
+    def test_top_once_against_live_server(self, capsys, tmp_path):
+        sampler = obs_telemetry.TelemetrySampler(
+            interval=1.0, path=tmp_path / "t.jsonl", experiment="cli"
+        )
+        sampler.sample_once()
+        with obs_openmetrics.TelemetryServer(port=0, sampler=sampler) as server:
+            assert main(["top", "--once", "--url", server.url]) == 0
+        out = capsys.readouterr().out
+        assert "repro top — cli" in out
+
+
+def _sleepy_task(seconds):
+    time.sleep(seconds)
+    obs_metrics.histogram("forward_latency_seconds").observe(seconds)
+    return seconds
+
+
+class TestLiveScrapeSmoke:
+    def test_smoke_scrape_during_traced_run(self, tmp_path):
+        """The acceptance-criteria drill, compressed for CI.
+
+        A traced sweep runs on the thread executor while the
+        exposition endpoint is scraped mid-flight: the payload must be
+        valid OpenMetrics text carrying the executor queue-depth gauge
+        and live latency quantile series.
+        """
+        obs_trace.enable(True)
+        sampler = obs_telemetry.TelemetrySampler(
+            interval=0.05, path=tmp_path / "t.jsonl", experiment="smoke"
+        )
+        with sampler, obs_openmetrics.TelemetryServer(
+            port=0, sampler=sampler
+        ) as server:
+            sweep = threading.Thread(
+                target=parallel_map,
+                args=(_sleepy_task, [0.05] * 8),
+                kwargs={"executor": ThreadExecutor(2)},
+            )
+            sweep.start()
+            time.sleep(0.1)  # scrape mid-run
+            body = urllib.request.urlopen(
+                server.url + "/metrics", timeout=5
+            ).read().decode("utf-8")
+            sweep.join()
+        obs_openmetrics.validate(body)
+        assert "repro_executor_queue_depth" in body
+        # After the run the full latency histogram is scrapeable with
+        # live p50/p99 series.
+        done = obs_openmetrics.render()
+        obs_openmetrics.validate(done)
+        assert 'repro_forward_latency_seconds_quantiles{quantile="0.5"}' in done
+        assert 'repro_forward_latency_seconds_quantiles{quantile="0.99"}' in done
