@@ -12,6 +12,7 @@ Usage::
     python -m repro all                   # everything, in paper order
 
     python -m repro bench                 # bench suite -> runs/history.jsonl
+    python -m repro errorbudget [--bench fft] [--json]    # stage attribution
     python -m repro compare [--baseline SHA] [--strict]   # regression gate
     python -m repro report                # trajectory report (md + HTML)
     python -m repro summary               # collate archived bench tables
@@ -47,6 +48,14 @@ baseline (``--baseline SHA`` resolves through history, falling back to
 the committed ``benchmarks/baseline.json``) and exits non-zero on
 regression; ``report`` renders the trajectory as markdown (stdout) and
 a self-contained HTML page.  See ``docs/benchmarking.md``.
+
+Error budget: ``errorbudget`` runs the counterfactual stage-attribution
+harness (which pipeline stage — codec, mapping, PV, SF, IR drop,
+comparator, truncation — costs how much accuracy), publishes
+``error_budget_*`` metric families, appends a ``kind="errorbudget"``
+history entry, and exports JSON/HTML; gate drift with ``compare --kind
+errorbudget``.  See the "Error budget" section of
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -129,13 +138,106 @@ def _run_bench(args, scale) -> int:
     return 0
 
 
-def _run_compare(args) -> int:
-    from repro.obs.compare import compare_history
+def _run_errorbudget(args, scale) -> int:
+    """Stage-attribution harness: counterfactual error budget per bench.
 
+    Trials resolution: ``--trials`` > ``REPRO_ERRORBUDGET_TRIALS`` >
+    the scale's noise-trial budget.  ``--check`` validates the
+    in-process OpenMetrics exposition carries the published
+    ``error_budget_*`` families (CI smoke).
+    """
+    from repro.analysis.errorbudget import ErrorBudgetConfig
+    from repro.config import knobs
+    from repro.experiments.errorbudget import (
+        baseline_guard,
+        render_errorbudget_html,
+        run_errorbudget,
+        write_errorbudget_baseline,
+    )
+
+    trials = args.trials
+    if trials is None:
+        trials = knobs.get_int("REPRO_ERRORBUDGET_TRIALS")
+    if trials is None:
+        trials = scale.noise_trials
+    config = ErrorBudgetConfig(
+        sigma_pv=args.sigma_pv,
+        sigma_sf=args.sigma_sf,
+        comparator_offset=args.comparator_offset,
+        wire_resistance=args.wire_resistance,
+        trials=trials,
+        seed=args.seed,
+    )
+    names = [args.bench] if args.bench else list(BENCHMARK_NAMES)
+    suite, entry, history_file = run_errorbudget(
+        names=names,
+        scale=scale,
+        seed=args.seed,
+        config=config,
+        ensemble=args.ensemble,
+        workers=args.workers,
+        history_path=args.history,
+    )
+    if args.json:
+        print(json.dumps(suite.payload(), indent=2, default=str))
+    else:
+        print(suite.render())
+    if history_file is not None:
+        _log.info(
+            "history updated",
+            extra={"fields": {"path": os.fspath(history_file)}},
+        )
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(render_errorbudget_html(suite))
+        _log.info("errorbudget html written", extra={"fields": {"path": args.html}})
+    if args.write_baseline:
+        refusal = baseline_guard(entry, allow_dirty=args.allow_dirty)
+        if refusal is not None:
+            print(refusal, file=sys.stderr)
+            return 2
+        baseline = write_errorbudget_baseline(entry)
+        _log.info(
+            "errorbudget baseline written",
+            extra={"fields": {"path": os.fspath(baseline)}},
+        )
+    if args.check:
+        from repro.obs import openmetrics
+
+        if not suite.results:
+            print(
+                "errorbudget --check: no benchmark produced a result",
+                file=sys.stderr,
+            )
+            return 2
+        exposition = openmetrics.render()
+        openmetrics.validate(exposition)
+        if "error_budget_" not in exposition:
+            print(
+                "errorbudget --check: OpenMetrics exposition is missing the "
+                "error_budget_* families",
+                file=sys.stderr,
+            )
+            return 2
+    return 0
+
+
+def _run_compare(args) -> int:
+    from repro.obs.compare import DEFAULT_BASELINE_FILE, compare_history
+
+    # --kind errorbudget swaps in the kind's own committed snapshot
+    # unless the user pointed at a specific file; the bench baseline
+    # holds disjoint metric names and would compare as all-new.
+    baseline_file = args.baseline_file
+    if args.kind == "errorbudget" and baseline_file == DEFAULT_BASELINE_FILE:
+        from repro.experiments.errorbudget import ERRORBUDGET_BASELINE_FILE
+
+        baseline_file = ERRORBUDGET_BASELINE_FILE
     result = compare_history(
         history_path=args.history,
         baseline_sha=args.baseline,
-        baseline_file=args.baseline_file,
+        baseline_file=baseline_file,
+        kind=args.kind,
     )
     if result is None:
         message = (
@@ -411,11 +513,13 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=["fig2", "fig3", "table1", "fig4", "fig5", "bitlength",
-                 "faults", "bench", "compare", "report", "summary", "lint",
-                 "profile", "metrics-server", "top", "all"],
+                 "faults", "bench", "errorbudget", "compare", "report",
+                 "summary", "lint", "profile", "metrics-server", "top", "all"],
         help="artifact to regenerate, or a trajectory command: 'faults' runs the "
              "stuck-at fault-injection campaign (manifest always written), 'bench' "
-             "runs the benchmark suite and appends to the run history, 'compare' "
+             "runs the benchmark suite and appends to the run history, "
+             "'errorbudget' attributes the real-vs-ideal accuracy gap to pipeline "
+             "stages via counterfactual idealization, 'compare' "
              "gates the latest entry against a baseline, 'report' renders the "
              "trajectory (markdown + HTML), 'summary' collates archived bench "
              "tables, 'lint' runs the repro-lint invariant checker over the package, "
@@ -428,7 +532,7 @@ def main(argv=None) -> int:
                         help="paper-scale budgets instead of quick ones")
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument("--bench", choices=BENCHMARK_NAMES, default=None,
-                        help="restrict table1/bench to one benchmark")
+                        help="restrict table1/bench/errorbudget to one benchmark")
     parser.add_argument("--log-level", default=None,
                         choices=["debug", "info", "warning", "error"],
                         help="diagnostic verbosity on stderr (default: REPRO_LOG or info)")
@@ -450,25 +554,54 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="compare: also fail on perf regressions and "
                              "vanished metrics")
+    parser.add_argument("--kind", default=None, metavar="KIND",
+                        help="compare: restrict both sides to history entries of "
+                             "one kind (e.g. 'errorbudget', which also swaps in "
+                             "benchmarks/errorbudget_baseline.json as the snapshot "
+                             "fallback)")
     parser.add_argument("--json", action="store_true",
-                        help="compare/lint: print the machine-readable report as JSON")
+                        help="compare/lint/errorbudget: print the machine-readable "
+                             "report as JSON")
     parser.add_argument("--paths", nargs="*", default=None, metavar="PATH",
                         help="lint: files/directories to check (default: the "
                              "installed repro package source)")
     parser.add_argument("--list-rules", action="store_true",
                         help="lint: print the RPR rule catalogue and exit")
     parser.add_argument("--write-baseline", action="store_true",
-                        help="bench: also write the entry to benchmarks/baseline.json "
-                             "(refused on a dirty/unknown git checkout)")
+                        help="bench/errorbudget: also write the entry to the kind's "
+                             "committed baseline snapshot (refused on a "
+                             "dirty/unknown git checkout)")
     parser.add_argument("--allow-dirty", action="store_true",
-                        help="bench: let --write-baseline proceed despite a "
-                             "dirty/unknown git checkout")
+                        help="bench/errorbudget: let --write-baseline proceed "
+                             "despite a dirty/unknown git checkout")
+    parser.add_argument("--trials", type=int, default=None, metavar="N",
+                        help="errorbudget: Monte-Carlo trials per variant "
+                             "(default: REPRO_ERRORBUDGET_TRIALS or the scale's "
+                             "noise-trial budget)")
+    parser.add_argument("--ensemble", type=int, default=1, metavar="K",
+                        help="errorbudget: SAAB ensemble size; 1 = single MEI "
+                             "(default 1)")
+    parser.add_argument("--sigma-pv", type=float, default=0.1, metavar="S",
+                        help="errorbudget: lognormal process-variation sigma of "
+                             "the 'real' system (default 0.1)")
+    parser.add_argument("--sigma-sf", type=float, default=0.05, metavar="S",
+                        help="errorbudget: signal-fluctuation sigma of the 'real' "
+                             "system (default 0.05)")
+    parser.add_argument("--comparator-offset", type=float, default=0.05,
+                        metavar="S",
+                        help="errorbudget: comparator offset sigma of the 'real' "
+                             "system (default 0.05)")
+    parser.add_argument("--wire-resistance", type=float, default=2.0,
+                        metavar="OHMS",
+                        help="errorbudget: per-segment wire resistance of the "
+                             "'real' system (default 2.0, the 90nm node)")
     parser.add_argument("--scale", default="fast", choices=["fast", "quick", "full"],
                         help="faults: campaign budget (default fast; --full is "
                              "ignored by 'faults' in favour of this)")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
-                        help="faults: executor worker count (default 2, so the "
-                             "chaos drill has a process pool to crash)")
+                        help="faults/errorbudget: executor worker count (faults "
+                             "defaults to 2 so the chaos drill has a process pool "
+                             "to crash; errorbudget defaults to REPRO_WORKERS)")
     parser.add_argument("--no-chaos", action="store_true",
                         help="faults: skip the forced worker-crash drill")
     parser.add_argument("--out", default=None, metavar="DIR",
@@ -483,10 +616,13 @@ def main(argv=None) -> int:
                         help="profile: run this experiment with tracing on and "
                              "profile its spans")
     parser.add_argument("--html", default=None, metavar="PATH",
-                        help="profile: also write a self-contained HTML report")
+                        help="profile/errorbudget: also write a self-contained "
+                             "HTML report")
     parser.add_argument("--check", action="store_true",
                         help="profile: exit non-zero when the report is empty or "
-                             "the top span is unattributed (CI smoke test)")
+                             "the top span is unattributed; errorbudget: exit "
+                             "non-zero unless the OpenMetrics exposition carries "
+                             "the error_budget_* families (CI smoke test)")
     parser.add_argument("--port", type=int, default=None, metavar="N",
                         help="metrics-server: listen port (default: "
                              "REPRO_TELEMETRY_PORT or 9464; 0 = ephemeral)")
@@ -527,6 +663,8 @@ def main(argv=None) -> int:
     try:
         if args.experiment == "bench":
             return _run_bench(args, scale)
+        if args.experiment == "errorbudget":
+            return _run_errorbudget(args, scale)
         if args.experiment == "compare":
             return _run_compare(args)
         if args.experiment == "report":

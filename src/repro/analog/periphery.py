@@ -75,22 +75,30 @@ class Comparator:
     offset_sigma:
         Std-dev of the comparator's input-referred offset, drawn per
         conversion (dynamic noise); 0 = ideal.
+    seed:
+        When set, offset draws come from an instance-owned generator
+        seeded here, so two comparators built with the same seed
+        produce identical offset streams — the pairing the
+        error-budget counterfactuals rely on.  An explicit ``rng``
+        passed to :meth:`apply` still takes precedence.
     """
 
     threshold: float = 0.5
     offset_sigma: float = 0.0
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.threshold < 1.0:
             raise ValueError(f"threshold must be in (0, 1), got {self.threshold}")
         if self.offset_sigma < 0:
             raise ValueError("offset_sigma must be >= 0")
+        self._rng = np.random.default_rng(self.seed) if self.seed is not None else None
 
     def apply(self, analog_in: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Threshold analog levels into hard 0/1 bits."""
         analog_in = np.asarray(analog_in, dtype=float)
         threshold = self.threshold
         if self.offset_sigma > 0:
-            rng = ensure_rng(rng, "analog.Comparator")
+            rng = ensure_rng(rng if rng is not None else self._rng, "analog.Comparator")
             threshold = threshold + rng.normal(0.0, self.offset_sigma, analog_in.shape)
         return (analog_in >= threshold).astype(float)

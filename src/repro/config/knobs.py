@@ -327,6 +327,14 @@ register(
     "cache hit rates, campaign progress) written to the telemetry ring.",
 )
 register(
+    "REPRO_ERRORBUDGET_TRIALS",
+    "int",
+    None,
+    "Monte-Carlo trials per error-budget variant (`python -m repro "
+    "errorbudget`). Unset = the scale's noise-trial budget; the CLI "
+    "`--trials` flag overrides both.",
+)
+register(
     "REPRO_TASK_RETRIES",
     "int",
     "2",

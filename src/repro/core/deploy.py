@@ -33,7 +33,11 @@ from repro.device.variation import (
 from repro.nn.network import MLP
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
-from repro.xbar.mapping import DifferentialCrossbar, MappingConfig
+from repro.xbar.mapping import (
+    DifferentialCrossbar,
+    ExactDifferentialCrossbar,
+    MappingConfig,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.device.programming import ProgrammingConfig
@@ -64,6 +68,13 @@ class AnalogMLP:
         crosses the threshold, so immunity is strong but not absolute.
         Internal (hidden-layer) analog signals see fluctuation either
         way.
+    exact_mapping:
+        Deploy every layer as an
+        :class:`~repro.xbar.mapping.ExactDifferentialCrossbar` — the
+        weight matrix realized exactly, no scale/base/discretization/
+        wire loss.  This is the error-budget harness's "ideal mapping"
+        counterfactual; incompatible with ``programming`` (there are no
+        conductances to program).
     """
 
     def __init__(
@@ -73,8 +84,14 @@ class AnalogMLP:
         device: RRAMDevice = HFOX_DEVICE,
         digital_input: bool = False,
         programming: "Optional[ProgrammingConfig]" = None,
+        exact_mapping: bool = False,
     ):
+        if exact_mapping and programming is not None:
+            raise ValueError(
+                "exact_mapping deploys no conductances; programming does not apply"
+            )
         self.digital_input = digital_input
+        self.exact_mapping = exact_mapping
         self.layer_sizes = mlp.layer_sizes
         self.crossbars: List[DifferentialCrossbar] = []
         self.neurons: List[SigmoidNeuron] = []
@@ -86,7 +103,11 @@ class AnalogMLP:
             "deploy", layers=list(mlp.layer_sizes), digital_input=digital_input
         ) as sp:
             for index, layer in enumerate(mlp.layers):
-                if tile_rows is not None and layer.weights.shape[0] > tile_rows:
+                if exact_mapping:
+                    xbar = ExactDifferentialCrossbar(
+                        layer.weights, config=mapping_config, device=device
+                    )
+                elif tile_rows is not None and layer.weights.shape[0] > tile_rows:
                     from repro.xbar.tiling import TiledDifferentialCrossbar
 
                     xbar = TiledDifferentialCrossbar(

@@ -171,6 +171,40 @@ class MEI:
             clone.out_bits = out_bits
         return clone
 
+    def deploy_variant(
+        self,
+        *,
+        in_bits: Optional[int] = None,
+        out_bits: Optional[int] = None,
+        mapping_config: Optional[MappingConfig] = None,
+        exact_mapping: bool = False,
+        comparator: Optional[Comparator] = None,
+    ) -> "MEI":
+        """Deployment clone with selected interface stages swapped.
+
+        Shares the trained software network with ``self`` (a shallow
+        :meth:`pruned` copy) but redeploys the analog side under the
+        given overrides — the counterfactual-variant constructor of the
+        error-budget harness (:mod:`repro.analysis.errorbudget`):
+        unprune a side by passing ``in_bits=self.bits``, idealize the
+        conductance mapping with ``exact_mapping=True``, change the
+        wire/mapping policy via ``mapping_config``, or swap the output
+        stage via ``comparator``.  ``self`` is left untouched.
+        """
+        clone = self.pruned(in_bits, out_bits)
+        if mapping_config is not None:
+            clone.mapping_config = mapping_config
+        if comparator is not None:
+            clone.comparator = comparator
+        clone.analog = AnalogMLP(
+            clone.network,
+            clone.mapping_config,
+            clone.device,
+            digital_input=True,
+            exact_mapping=exact_mapping,
+        )
+        return clone
+
     # -- codecs ----------------------------------------------------------
 
     def encode_inputs(self, x: np.ndarray) -> np.ndarray:

@@ -229,6 +229,25 @@ class SAAB:
     def is_trained(self) -> bool:
         return bool(self.learners)
 
+    def remapped(self, transform: "Callable[[BoostableLearner], BoostableLearner]") -> "SAAB":
+        """Clone with every learner passed through ``transform``.
+
+        The boosting state — alphas, round diagnostics, sample-weight
+        distribution — is copied unchanged: the ensemble was *trained*
+        once, and ``transform`` only re-deploys each learner under
+        different interface assumptions (e.g.
+        :meth:`repro.core.mei.MEI.deploy_variant` for the error-budget
+        counterfactuals).  ``self`` is left untouched.
+        """
+        if not self.is_trained:
+            raise RuntimeError("train() must run before remapped()")
+        clone = SAAB(self.factory, self.config)
+        clone.learners = [transform(learner) for learner in self.learners]
+        clone.alphas = list(self.alphas)
+        clone.rounds = list(self.rounds)
+        clone._weights = None if self._weights is None else self._weights.copy()
+        return clone
+
     # -- inference (Line 10) -------------------------------------------------
 
     def predict_bits(

@@ -154,6 +154,22 @@ class NonIdealFactors:
         """Copy with a different base seed."""
         return NonIdealFactors(self.sigma_pv, self.sigma_sf, seed)
 
+    def idealized(self, pv: bool = False, sf: bool = False) -> "NonIdealFactors":
+        """Copy with the selected noise sources switched off.
+
+        The seed is preserved so the surviving source keeps drawing the
+        same per-trial generators — the paired-seed construction of the
+        error-budget counterfactuals.  (Note the caveat documented
+        there: because SF draws precede PV draws on each generator,
+        zeroing one source shifts the other's draw positions; the
+        pairing is exact in generators, approximate in streams.)
+        """
+        return NonIdealFactors(
+            0.0 if pv else self.sigma_pv,
+            0.0 if sf else self.sigma_sf,
+            self.seed,
+        )
+
 
 IDEAL = NonIdealFactors()
 """No process variation, no signal fluctuation."""

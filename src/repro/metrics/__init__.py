@@ -8,6 +8,7 @@ from repro.metrics.robustness import (
     noise_sweep,
     robustness_index,
 )
+from repro.metrics.signal import bit_error_rate, snr_db, weighted_bit_error
 
 __all__ = [
     "average_relative_error",
@@ -20,4 +21,7 @@ __all__ = [
     "evaluate_under_noise",
     "noise_sweep",
     "robustness_index",
+    "snr_db",
+    "bit_error_rate",
+    "weighted_bit_error",
 ]

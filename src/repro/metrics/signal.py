@@ -1,0 +1,84 @@
+"""Signal-quality metrics: SNR and per-bit-plane error rates.
+
+The error-budget harness (:mod:`repro.analysis.errorbudget`) compares a
+deployed mixed-signal pipeline against stage-idealized counterfactuals;
+these helpers quantify how far a degraded signal sits from its reference
+(``snr_db``) and *where* in the bit planes the damage lands
+(``bit_error_rate`` with ``bits=``) — MSB flips cost exponentially more
+than LSB flips under the paper's Eq. 5 weighted loss, which
+``weighted_bit_error`` reproduces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.quant.binarray import msb_weights
+
+__all__ = ["snr_db", "bit_error_rate", "weighted_bit_error"]
+
+
+def snr_db(reference: np.ndarray, test: np.ndarray) -> float:
+    """Signal-to-noise ratio of ``test`` against ``reference``, in dB.
+
+    Signal power is the mean square of ``reference``; noise power is the
+    mean square of ``test - reference`` (inputs broadcast against each
+    other, so a single reference can score a stack of noisy trials).
+    Returns ``inf`` for a perfect match and ``-inf`` for a silent
+    reference corrupted by non-zero noise.
+    """
+    reference = np.asarray(reference, dtype=float)
+    test = np.asarray(test, dtype=float)
+    noise = test - reference  # broadcasts; raises on incompatible shapes
+    noise_power = float(np.mean(np.square(noise)))
+    signal_power = float(np.mean(np.square(np.broadcast_to(reference, noise.shape))))
+    if noise_power == 0.0:
+        return float("inf")
+    if signal_power == 0.0:
+        return float("-inf")
+    return float(10.0 * np.log10(signal_power / noise_power))
+
+
+def bit_error_rate(
+    predicted: np.ndarray,
+    target: np.ndarray,
+    bits: Optional[int] = None,
+) -> Union[float, np.ndarray]:
+    """Fraction of mismatched bits, overall or split per bit plane.
+
+    With ``bits=None`` returns the scalar rate over every element.  With
+    ``bits=B`` the last axis is interpreted as MSB-first groups of ``B``
+    bits (the layout ``FixedPointCodec`` emits) and the return value is a
+    ``(B,)`` array of per-plane rates, index 0 being the MSB plane.
+    ``predicted`` may carry leading broadcast axes (e.g. a noise-trial
+    stack) that ``target`` lacks.
+    """
+    errors = np.not_equal(np.asarray(predicted), np.asarray(target))
+    if bits is None:
+        return float(errors.mean())
+    if bits < 1:
+        raise ValueError(f"bits must be >= 1, got {bits}")
+    width = errors.shape[-1]
+    if width % bits != 0:
+        raise ValueError(
+            f"last axis ({width}) is not a whole number of {bits}-bit groups"
+        )
+    planes = errors.reshape(errors.shape[:-1] + (width // bits, bits))
+    return planes.mean(axis=tuple(range(planes.ndim - 1)))
+
+
+def weighted_bit_error(plane_rates: np.ndarray, decay: float = 2.0) -> float:
+    """Eq. 5-style weighted bit error: MSB planes dominate the score.
+
+    ``plane_rates`` is the MSB-first output of :func:`bit_error_rate`
+    with ``bits=``; weights follow the same geometric ``decay`` ramp as
+    the training loss (:func:`repro.quant.binarray.msb_weights`), and
+    the result is normalized to stay a rate in ``[0, 1]``.
+    """
+    rates = np.asarray(plane_rates, dtype=float)
+    if rates.ndim != 1 or rates.size == 0:
+        raise ValueError("plane_rates must be a non-empty 1-D array")
+    weights = msb_weights(rates.size, decay=decay)
+    return float(np.dot(weights, rates) / weights.sum())

@@ -72,6 +72,7 @@ _HIGHER_BETTER_TOKENS = (
     "saved",
     "utilization",
     "improvement",
+    "snr",
 )
 
 
@@ -286,6 +287,7 @@ def compare_history(
     baseline_file: "Optional[str | pathlib.Path]" = DEFAULT_BASELINE_FILE,
     accuracy_tolerance: Tolerance = ACCURACY_TOLERANCE,
     perf_tolerance: Tolerance = PERF_TOLERANCE,
+    kind: Optional[str] = None,
 ) -> Optional[ComparisonResult]:
     """End-to-end gate: latest history entry vs resolved baseline.
 
@@ -293,8 +295,15 @@ def compare_history(
     entry's git SHA (repeated-run smoothing).  Returns None when either
     side cannot be resolved — the CLI reports that as "nothing to
     compare" rather than a failure.
+
+    ``kind`` restricts both sides to entries of one history kind (e.g.
+    ``"errorbudget"``), so attribution drift is gated against the
+    errorbudget baseline instead of being averaged with bench entries
+    of the same commit.
     """
     history = _history.load_history(history_path)
+    if kind is not None:
+        history = _history.entries_of_kind(history, kind)
     newest = _history.latest_entry(history)
     if newest is None:
         return None

@@ -24,11 +24,12 @@ import json
 import time
 import urllib.request
 from html import escape
-from typing import Callable, Dict, List, Optional, Sequence, TextIO
+from typing import Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
-from repro.obs.report import sparkline, svg_sparkline
+from repro.obs.report import sparkline, stacked_budget_svg, svg_sparkline
 
 __all__ = [
+    "errorbudget_from_gauges",
     "render_top_text",
     "render_dashboard_html",
     "fetch_samples",
@@ -86,6 +87,31 @@ def _get(sample: Dict[str, object], *path: str) -> object:
             return None
         node = node[part]
     return node
+
+
+def errorbudget_from_gauges(
+    gauges: Dict[str, object],
+) -> Dict[str, List[Tuple[str, float]]]:
+    """Per-benchmark stage deltas out of published ``error_budget_*`` gauges.
+
+    Only the ``error_budget_<bench>_<stage>_delta`` family is picked up
+    (benchmark names contain no underscores, stage names may), sorted by
+    descending delta so the dominant stage leads.
+    """
+    budgets: Dict[str, List[Tuple[str, float]]] = {}
+    for name, value in gauges.items():
+        if not (name.startswith("error_budget_") and name.endswith("_delta")):
+            continue
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        core = name[len("error_budget_"):-len("_delta")]
+        bench, _, stage = core.partition("_")
+        if not bench or not stage:
+            continue
+        budgets.setdefault(bench, []).append((stage, float(value)))
+    for stages in budgets.values():
+        stages.sort(key=lambda item: -item[1])
+    return budgets
 
 
 def render_top_text(
@@ -156,6 +182,16 @@ def render_top_text(
                 f"p95 {_fmt_seconds(float(digest.get('p95', 0.0)))} "
                 f"p99 {_fmt_seconds(float(digest.get('p99', 0.0)))}"
             )
+
+    gauges = latest.get("gauges")
+    budgets = errorbudget_from_gauges(gauges) if isinstance(gauges, dict) else {}
+    if budgets:
+        lines.append("  error budget (top stages):")
+        for bench, stages in sorted(budgets.items()):
+            top = "  ".join(
+                f"{stage} {delta:+.4f}" for stage, delta in stages[:3]
+            )
+            lines.append(f"    {bench:<12} {top}")
 
     alerts = latest.get("alerts")
     if isinstance(alerts, dict):
@@ -258,6 +294,28 @@ def render_dashboard_html(
             body.append(
                 "<h2>Latency</h2><table><tr><th>histogram</th><th>count</th>"
                 "<th>p50</th><th>p95</th><th>p99</th><th>p50 trend</th></tr>"
+                + "".join(rows) + "</table>"
+            )
+
+        gauges = latest.get("gauges")
+        budgets = (
+            errorbudget_from_gauges(gauges) if isinstance(gauges, dict) else {}
+        )
+        if budgets:
+            rows = []
+            for bench, stages in sorted(budgets.items()):
+                bar = stacked_budget_svg(stages, width=280, height=14)
+                top = ", ".join(
+                    f"{escape(stage)} {delta:+.4f}"
+                    for stage, delta in stages[:3]
+                )
+                rows.append(
+                    f"<tr><td>{escape(bench)}</td><td>{bar}</td>"
+                    f"<td>{top}</td></tr>"
+                )
+            body.append(
+                "<h2>Error budget</h2><table><tr><th>benchmark</th>"
+                "<th>stage deltas</th><th>top stages</th></tr>"
                 + "".join(rows) + "</table>"
             )
 

@@ -39,6 +39,7 @@ __all__ = [
     "append_entry",
     "load_history",
     "entries_for_sha",
+    "entries_of_kind",
     "latest_entry",
     "aggregate_metrics",
     "build_entry",
@@ -104,6 +105,17 @@ def entries_for_sha(
         for e in history
         if isinstance(e.get("git_sha"), str) and str(e["git_sha"]).startswith(sha)
     ]
+
+
+def entries_of_kind(
+    history: Sequence[Dict[str, object]], kind: str
+) -> List[Dict[str, object]]:
+    """Entries of one kind (``bench``, ``errorbudget``, ...).
+
+    Seed-era entries predate the ``kind`` field; they count as
+    ``bench`` so existing baselines keep resolving.
+    """
+    return [e for e in history if (e.get("kind") or "bench") == kind]
 
 
 def latest_entry(

@@ -24,8 +24,11 @@ from repro.obs import history as _history
 
 __all__ = [
     "SPARK_CHARS",
+    "BUDGET_PALETTE",
     "sparkline",
     "svg_sparkline",
+    "stacked_budget_svg",
+    "errorbudget_breakdown",
     "trajectories",
     "slowest_spans",
     "render_markdown",
@@ -34,6 +37,18 @@ __all__ = [
 ]
 
 SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+BUDGET_PALETTE = (
+    "#3b5bdb",
+    "#e8590c",
+    "#2b8a3e",
+    "#d6336c",
+    "#f08c00",
+    "#0c8599",
+    "#6741d9",
+    "#868e96",
+)
+"""Stage colors for the stacked error-budget bars (cycled)."""
 
 
 def sparkline(values: Sequence[float]) -> str:
@@ -74,6 +89,76 @@ def svg_sparkline(
         f'points="{points}"/>'
         f'<circle cx="{last_x:.1f}" cy="{last_y:.1f}" r="2"/></svg>'
     )
+
+
+def stacked_budget_svg(
+    segments: Sequence[Tuple[str, float]],
+    width: int = 360,
+    height: int = 18,
+    palette: Sequence[str] = BUDGET_PALETTE,
+) -> str:
+    """Inline SVG stacked bar; segment widths ∝ ``|value|``.
+
+    Each segment carries a ``<title>`` tooltip with its label and
+    signed value (a stage whose idealization *hurts* shows up with a
+    negative delta but still occupies its share of the bar).
+    """
+    segments = [(str(label), float(value)) for label, value in segments]
+    total = sum(abs(value) for _, value in segments)
+    if total <= 0:
+        return ""
+    parts = [
+        f'<svg class="budget" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}" role="img">'
+    ]
+    x = 0.0
+    for i, (label, value) in enumerate(segments):
+        w = abs(value) / total * width
+        color = palette[i % len(palette)]
+        tooltip = _html.escape(f"{label}: {value:+.4g}")
+        parts.append(
+            f'<rect x="{x:.1f}" y="0" width="{w:.1f}" height="{height}" '
+            f'fill="{color}"><title>{tooltip}</title></rect>'
+        )
+        x += w
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def errorbudget_breakdown(
+    history: Sequence[Dict[str, object]],
+) -> Dict[str, Dict[str, object]]:
+    """Latest per-benchmark error-budget decomposition in the history.
+
+    Parses the flat ``errorbudget.<bench>.stage.<stage>.delta`` metric
+    names of the newest ``kind == "errorbudget"`` entry back into
+    ``{bench: {"stages": [(stage, delta), ...], "total_gap": ...,
+    "residual": ..., "err_real": ..., "err_ideal": ...}}``, stages
+    sorted by descending delta.  Empty when no errorbudget entry
+    exists.
+    """
+    newest = _history.latest_entry(_history.entries_of_kind(history, "errorbudget"))
+    metrics = newest.get("metrics") if newest else None
+    if not isinstance(metrics, dict):
+        return {}
+    out: Dict[str, Dict[str, object]] = {}
+    for name, value in metrics.items():
+        if not name.startswith("errorbudget.") or isinstance(value, bool):
+            continue
+        if not isinstance(value, (int, float)):
+            continue
+        parts = name.split(".")
+        bench = parts[1]
+        record = out.setdefault(bench, {"stages": []})
+        if len(parts) == 5 and parts[2] == "stage" and parts[4] == "delta":
+            record["stages"].append((parts[3], float(value)))
+        elif len(parts) == 3 and parts[2] in (
+            "total_gap", "residual", "err_real", "err_ideal"
+        ):
+            record[parts[2]] = float(value)
+    for record in out.values():
+        record["stages"].sort(key=lambda item: -item[1])
+    return {bench: rec for bench, rec in out.items() if rec["stages"]}
 
 
 def trajectories(
@@ -161,6 +246,32 @@ def render_markdown(
                 f"| {delta:+.6g} | {sparkline(points)} |"
             )
         lines.append("")
+    budget = errorbudget_breakdown(history)
+    if budget:
+        lines.append("## Error budget (latest attribution run)")
+        lines.append("")
+        lines.append(
+            "Per-stage accuracy recovered by idealizing that stage alone "
+            "(counterfactual attribution; see docs/observability.md)."
+        )
+        lines.append("")
+        for bench in sorted(budget):
+            record = budget[bench]
+            gap = float(record.get("total_gap", 0.0))
+            lines.append(
+                f"**`{bench}`** — error {record.get('err_real', float('nan')):.4g} real "
+                f"→ {record.get('err_ideal', float('nan')):.4g} ideal, "
+                f"gap {gap:.4g}, residual {record.get('residual', 0.0):+.4g}"
+            )
+            lines.append("")
+            lines.append("| stage | delta | share | |")
+            lines.append("|---|---:|---:|---|")
+            magnitude = sum(abs(d) for _, d in record["stages"]) or 1.0
+            for stage, delta in record["stages"]:
+                share = abs(delta) / magnitude
+                bar = "█" * max(1, int(round(share * 20))) if delta else ""
+                lines.append(f"| `{stage}` | {delta:+.4g} | {share:.0%} | {bar} |")
+            lines.append("")
     top = slowest_spans(_latest_metrics(history), n=top_spans)
     if top:
         lines.append(f"## Slowest spans (latest run, top {len(top)})")
@@ -245,6 +356,45 @@ def render_html(
             parts.append(f"<h2>{esc(heading)}</h2>")
             _metric_table(names)
 
+    budget = errorbudget_breakdown(history)
+    if budget:
+        parts.append("<h2>Error budget (latest attribution run)</h2>")
+        parts.append(
+            "<p class='meta'>Per-stage accuracy recovered by idealizing that "
+            "stage alone (counterfactual attribution); hover a segment for "
+            "its signed delta. See <code>docs/observability.md</code>.</p>"
+        )
+        parts.append(
+            "<table><thead><tr><th>benchmark</th><th class='num'>gap</th>"
+            "<th class='num'>residual</th><th>stage budget</th></tr></thead><tbody>"
+        )
+        legend_stages: List[str] = []
+        for bench in sorted(budget):
+            record = budget[bench]
+            for stage, _ in record["stages"]:
+                if stage not in legend_stages:
+                    legend_stages.append(stage)
+        stage_color = {
+            stage: BUDGET_PALETTE[i % len(BUDGET_PALETTE)]
+            for i, stage in enumerate(legend_stages)
+        }
+        for bench in sorted(budget):
+            record = budget[bench]
+            palette = [stage_color[stage] for stage, _ in record["stages"]]
+            bar = stacked_budget_svg(record["stages"], palette=palette)
+            parts.append(
+                f"<tr><td><code>{esc(bench)}</code></td>"
+                f"<td class='num'>{float(record.get('total_gap', 0.0)):.4g}</td>"
+                f"<td class='num'>{float(record.get('residual', 0.0)):+.4g}</td>"
+                f"<td>{bar}</td></tr>"
+            )
+        parts.append("</tbody></table>")
+        legend = " ".join(
+            f"<span style='color:{stage_color[stage]}'>■</span> "
+            f"<code>{esc(stage)}</code>"
+            for stage in legend_stages
+        )
+        parts.append(f"<p class='meta'>{legend}</p>")
     top = slowest_spans(_latest_metrics(history), n=top_spans)
     if top:
         parts.append(f"<h2>Slowest spans (latest run, top {len(top)})</h2>")

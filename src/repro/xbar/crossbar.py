@@ -31,7 +31,41 @@ from repro.config.dtype import astype as _astype
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
 from repro.device.variation import NonIdealFactors, lognormal_factor_stack
 
-__all__ = ["Crossbar", "coefficients_from_conductance", "sinh_nonlinearity"]
+__all__ = [
+    "Crossbar",
+    "coefficients_from_conductance",
+    "effective_conductances",
+    "sinh_nonlinearity",
+]
+
+
+def effective_conductances(g: np.ndarray, wire_resistance: float) -> np.ndarray:
+    """First-order IR-drop attenuation of programmed conductances.
+
+    The cell at (1-indexed) position ``(i, j)`` sees roughly
+    ``i + j`` wire segments of resistance ``wire_resistance`` in series
+    with its own resistance ``1/g`` (down the word line from the driver,
+    along the bit line to the sense load), so its effective conductance
+    is ``1 / (1/g + r_path) = g / (1 + g * r_path)``.  This is the
+    zeroth iteration of the full MNA solve in :mod:`repro.xbar.mna` —
+    it ignores sneak-path coupling but captures the dominant trend: far
+    corners fade, strong (low-resistance) cells fade hardest.  It stays
+    a cheap closed form so Monte-Carlo trial stacks (``g`` may carry
+    leading trial axes) pay one vectorized multiply, not an MNA solve
+    per trial.  ``wire_resistance == 0`` returns ``g`` unchanged.
+    """
+    if wire_resistance < 0:
+        raise ValueError(f"wire resistance must be >= 0, got {wire_resistance}")
+    g = _astype(g)
+    if g.ndim < 2:
+        raise ValueError(f"conductance array must be at least 2-D, got shape {g.shape}")
+    if wire_resistance == 0:
+        return g
+    rows, cols = g.shape[-2:]
+    i = np.arange(1, rows + 1, dtype=g.dtype)
+    j = np.arange(1, cols + 1, dtype=g.dtype)
+    r_path = wire_resistance * (i[:, None] + j[None, :])
+    return g / (1.0 + g * r_path)
 
 
 def sinh_nonlinearity(v: np.ndarray, alpha: float) -> np.ndarray:
@@ -76,6 +110,11 @@ class Crossbar:
         Load conductance at each output column.
     device:
         Device model used to clip/discretize the programmed states.
+    wire_resistance:
+        Per-segment wire resistance in ohms; ``0`` (the default) keeps
+        the ideal interconnect of Eq. 1-2, any positive value applies
+        the first-order :func:`effective_conductances` attenuation to
+        whatever conductances (nominal or PV-perturbed) feed Eq. 2.
     """
 
     def __init__(
@@ -84,6 +123,7 @@ class Crossbar:
         g_s: float,
         device: RRAMDevice = HFOX_DEVICE,
         nonlinearity: float = 0.0,
+        wire_resistance: float = 0.0,
     ):
         conductances = _astype(conductances)
         if conductances.ndim != 2:
@@ -92,9 +132,12 @@ class Crossbar:
             raise ValueError(f"load conductance must be positive, got {g_s}")
         if nonlinearity < 0:
             raise ValueError(f"nonlinearity must be >= 0, got {nonlinearity}")
+        if wire_resistance < 0:
+            raise ValueError(f"wire resistance must be >= 0, got {wire_resistance}")
         self.device = device
         self.g_s = float(g_s)
         self.nonlinearity = float(nonlinearity)
+        self.wire_resistance = float(wire_resistance)
         self.conductances = device.discretize(conductances)
 
     @property
@@ -117,6 +160,8 @@ class Crossbar:
         g = self.conductances
         if noise is not None and noise.sigma_pv > 0:
             g = self.device.clip_conductance(noise.perturb_conductance(g, rng))
+        if self.wire_resistance > 0:
+            g = effective_conductances(g, self.wire_resistance)
         return coefficients_from_conductance(g, self.g_s)
 
     def apply(
@@ -226,7 +271,9 @@ class Crossbar:
                     self.conductances.shape, noise.sigma_pv, rngs
                 )
             g = self.device.clip_conductance(self.conductances * factors)
+            if self.wire_resistance > 0:
+                g = effective_conductances(g, self.wire_resistance)
             c = g / (self.g_s + g.sum(axis=1, keepdims=True))
         else:
-            c = coefficients_from_conductance(self.conductances, self.g_s)
+            c = self.coefficients()
         return v_in @ c

@@ -35,7 +35,11 @@ import numpy as np
 
 from repro.config.dtype import astype as _astype
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
-from repro.device.variation import NonIdealFactors, lognormal_factor_stack
+from repro.device.variation import (
+    NonIdealFactors,
+    lognormal_factor_stack,
+    lognormal_factors,
+)
 from repro.obs import metrics as obs_metrics
 from repro.xbar.crossbar import Crossbar
 
@@ -43,6 +47,7 @@ __all__ = [
     "MappingConfig",
     "solve_conductances",
     "DifferentialCrossbar",
+    "ExactDifferentialCrossbar",
     "map_matrix",
     "clear_mapping_cache",
     "mapping_cache_size",
@@ -79,10 +84,19 @@ class MappingConfig:
     """When set, deployments split matrices taller than this into
     row tiles whose output currents sum
     (:class:`repro.xbar.tiling.TiledDifferentialCrossbar`)."""
+    wire_resistance: float = 0.0
+    """Per-segment interconnect resistance in ohms applied to each
+    deployed crossbar (first-order IR-drop model,
+    :func:`repro.xbar.crossbar.effective_conductances`); 0 keeps the
+    ideal wires of Eq. 1-2.  The naive mapping solve does *not*
+    compensate for it — the attenuation lands as output error, which is
+    exactly what the error-budget attribution measures."""
 
     def __post_init__(self) -> None:
         if self.input_nonlinearity < 0:
             raise ValueError("input_nonlinearity must be >= 0")
+        if self.wire_resistance < 0:
+            raise ValueError("wire_resistance must be >= 0")
         if self.max_rows_per_tile is not None and self.max_rows_per_tile < 1:
             raise ValueError("max_rows_per_tile must be >= 1 when set")
         if self.g_s <= 0:
@@ -255,12 +269,14 @@ class DifferentialCrossbar:
             self.config.g_s,
             device,
             nonlinearity=self.config.input_nonlinearity,
+            wire_resistance=self.config.wire_resistance,
         )
         self.negative = Crossbar(
             g_neg,
             self.config.g_s,
             device,
             nonlinearity=self.config.input_nonlinearity,
+            wire_resistance=self.config.wire_resistance,
         )
 
     @property
@@ -347,6 +363,123 @@ class DifferentialCrossbar:
         else:
             out = self.positive.apply_trials(x) - self.negative.apply_trials(x)
         return out * self.gain
+
+
+class ExactDifferentialCrossbar:
+    """An idealized mapping stage: realizes ``x @ W`` exactly.
+
+    Drop-in stand-in for :class:`DifferentialCrossbar` used by the
+    error-budget harness (:mod:`repro.analysis.errorbudget`) to measure
+    what the *real* mapping chain costs — scale choice, base
+    coefficient, Eq. 2 inversion, conductance discretization and wire
+    attenuation all vanish, but the differential split survives so
+    process variation still acts on a positive and a negative array.
+
+    Paired-seed counterfactuals require bit-identical random streams,
+    so this class mirrors the pair's noise interface exactly: the same
+    ``pv_shapes`` (positive then negative, each ``weights.shape``) and
+    the same per-trial draw order (shared signal fluctuation first,
+    then positive-array PV, then negative-array PV).  PV factors
+    multiply the split weights directly — the relative-lognormal
+    perturbation of :class:`repro.device.variation.NonIdealFactors`
+    applied to an ideal realization.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        config: Optional[MappingConfig] = None,
+        device: RRAMDevice = HFOX_DEVICE,
+    ):
+        # Copy: deployment snapshots the weights, like programming does.
+        weights = _astype(weights).copy()
+        if weights.ndim != 2:
+            raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
+        self.config = config if config is not None else MappingConfig()
+        self.device = device
+        self.weights = weights
+        self.w_pos = np.maximum(weights, 0.0)
+        self.w_neg = np.maximum(-weights, 0.0)
+
+    @property
+    def gain(self) -> float:
+        """No scale was applied, so no periphery gain to restore."""
+        return 1.0
+
+    @property
+    def in_dim(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.weights.shape[1]
+
+    @property
+    def device_count(self) -> int:
+        """Cells the real pair would use (area accounting stays honest)."""
+        return 2 * self.weights.size
+
+    def apply(
+        self,
+        x: np.ndarray,
+        noise: Optional[NonIdealFactors] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        x = np.atleast_2d(_astype(x))
+        if x.shape[1] != self.in_dim:
+            raise ValueError(
+                f"input has {x.shape[1]} ports, matrix has {self.in_dim} rows"
+            )
+        if noise is not None:
+            if rng is None:
+                rng = noise.rng()
+            x = noise.perturb_signal(x, rng)
+            if noise.sigma_pv > 0:
+                f_pos = lognormal_factors(self.weights.shape, noise.sigma_pv, rng)
+                f_neg = lognormal_factors(self.weights.shape, noise.sigma_pv, rng)
+                return x @ (self.w_pos * f_pos - self.w_neg * f_neg)
+        return x @ self.weights
+
+    def pv_shapes(self) -> "list":
+        """Conductance-array shapes, in per-trial PV draw order."""
+        return [self.weights.shape, self.weights.shape]
+
+    def consume_pv_factors(self, chunks) -> "tuple":
+        """Take the pair's PV factor stacks from an ordered iterator."""
+        return (next(chunks), next(chunks))
+
+    def apply_trials(
+        self,
+        x: np.ndarray,
+        noise: Optional[NonIdealFactors] = None,
+        rngs: "Optional[list]" = None,
+        pv_factors: "Optional[tuple]" = None,
+    ) -> np.ndarray:
+        x = _astype(x)
+        if x.ndim != 3:
+            raise ValueError(f"trial stack must be 3-D, got shape {x.shape}")
+        if noise is not None:
+            if rngs is None:
+                raise ValueError("rngs (one per trial) are required when noise is given")
+            if noise.sigma_sf > 0:
+                x = x * lognormal_factor_stack(x.shape[1:], noise.sigma_sf, rngs)
+            if noise.sigma_pv > 0:
+                if pv_factors is not None:
+                    f_pos, f_neg = pv_factors
+                else:
+                    # Interleave per trial to match the serial apply()
+                    # draw order (pos then neg from one generator).
+                    f_pos = np.empty((len(rngs),) + self.weights.shape, dtype=x.dtype)
+                    f_neg = np.empty_like(f_pos)
+                    for t, rng in enumerate(rngs):
+                        f_pos[t] = lognormal_factors(
+                            self.weights.shape, noise.sigma_pv, rng
+                        )
+                        f_neg[t] = lognormal_factors(
+                            self.weights.shape, noise.sigma_pv, rng
+                        )
+                return x @ (self.w_pos[None] * f_pos - self.w_neg[None] * f_neg)
+        return x @ self.weights
 
 
 def map_matrix(

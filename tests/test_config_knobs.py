@@ -45,6 +45,7 @@ class TestRegistry:
             "REPRO_TASK_TIMEOUT",
             "REPRO_TASK_RETRIES",
             "REPRO_DTYPE",
+            "REPRO_ERRORBUDGET_TRIALS",
             "REPRO_SHM",
             "REPRO_TELEMETRY",
             "REPRO_TELEMETRY_PORT",

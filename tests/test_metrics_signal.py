@@ -1,0 +1,92 @@
+"""Hand-computed values for the signal-quality helpers.
+
+``snr_db`` / ``bit_error_rate`` / ``weighted_bit_error`` feed the
+error-budget attribution harness, so every branch here is pinned to a
+value worked out by hand rather than round-tripped through the
+implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import bit_error_rate, snr_db, weighted_bit_error
+
+
+class TestSnrDb:
+    def test_hand_computed_value(self):
+        # signal power = 1, noise power = (1/4)·1 -> 10·log10(4)
+        reference = np.array([1.0, 1.0, 1.0, 1.0])
+        test = np.array([1.0, 1.0, 1.0, 0.0])
+        assert snr_db(reference, test) == pytest.approx(10 * np.log10(4.0))
+
+    def test_perfect_match_is_infinite(self):
+        x = np.array([0.5, -0.25, 2.0])
+        assert snr_db(x, x) == np.inf
+
+    def test_silent_reference_with_noise_is_negative_infinity(self):
+        assert snr_db(np.zeros(3), np.array([0.0, 0.1, 0.0])) == -np.inf
+
+    def test_broadcasts(self):
+        reference = np.ones((2, 4))
+        test = np.array([1.0, 1.0, 1.0, 0.0])
+        # same powers as the hand-computed case, just stacked
+        assert snr_db(reference, test) == pytest.approx(10 * np.log10(4.0))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            snr_db(np.ones(3), np.ones(4))
+
+
+class TestBitErrorRate:
+    def test_scalar_rate(self):
+        predicted = np.array([1, 0, 1, 1])
+        target = np.array([1, 1, 0, 1])
+        assert bit_error_rate(predicted, target) == pytest.approx(0.5)
+
+    def test_per_plane_msb_first(self):
+        # one 4-bit group; only the second-most-significant bit differs
+        predicted = np.array([[1, 0, 1, 1]])
+        target = np.array([[1, 1, 1, 1]])
+        rates = bit_error_rate(predicted, target, bits=4)
+        np.testing.assert_allclose(rates, [0.0, 1.0, 0.0, 0.0])
+
+    def test_per_plane_averages_over_groups(self):
+        # two 2-bit groups: MSB wrong in one group of two -> 0.5
+        predicted = np.array([[1, 0, 0, 1]])
+        target = np.array([[0, 0, 0, 1]])
+        rates = bit_error_rate(predicted, target, bits=2)
+        np.testing.assert_allclose(rates, [0.5, 0.0])
+
+    def test_leading_axes_broadcast(self):
+        predicted = np.zeros((3, 2, 4))
+        target = np.zeros((1, 2, 4))
+        target[..., 0] = 1.0  # MSB of the first 2-bit group always wrong
+        rates = bit_error_rate(predicted, target, bits=2)
+        np.testing.assert_allclose(rates, [0.5, 0.0])
+
+    def test_invalid_bits_raise(self):
+        with pytest.raises(ValueError):
+            bit_error_rate(np.zeros(4), np.zeros(4), bits=0)
+        with pytest.raises(ValueError):
+            bit_error_rate(np.zeros(4), np.zeros(4), bits=3)
+
+
+class TestWeightedBitError:
+    def test_hand_computed_value(self):
+        # decay 2 -> weights (2, 1); (2·1 + 1·0)/3 = 2/3
+        assert weighted_bit_error(np.array([1.0, 0.0]), decay=2.0) == pytest.approx(2 / 3)
+
+    def test_uniform_rates_are_invariant_to_decay(self):
+        rates = np.full(5, 0.25)
+        assert weighted_bit_error(rates, decay=4.0) == pytest.approx(0.25)
+
+    def test_msb_weighting_beats_lsb(self):
+        msb_bad = weighted_bit_error(np.array([0.5, 0.0, 0.0]))
+        lsb_bad = weighted_bit_error(np.array([0.0, 0.0, 0.5]))
+        assert msb_bad > lsb_bad
+
+    def test_rejects_non_vector_input(self):
+        with pytest.raises(ValueError):
+            weighted_bit_error(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            weighted_bit_error(np.zeros(0))

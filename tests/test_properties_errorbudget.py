@@ -1,0 +1,79 @@
+"""Property test: error-budget additivity across seeds and sigmas.
+
+The attribution harness reports a first-order additivity residual; by
+construction the identity
+
+    total_gap == sum(stage deltas) + residual
+
+must hold *exactly* (the residual is defined as the difference), and
+every stage delta must equal ``err_real - counterfactual_error``.
+Hypothesis sweeps seeds and noise levels so the identity is not an
+artifact of one lucky configuration.
+"""
+
+import functools
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis.errorbudget import ErrorBudgetConfig, attribute_error
+from repro.core.mei import MEI, MEIConfig
+from repro.nn.trainer import TrainConfig
+
+
+@functools.lru_cache(maxsize=1)
+def _system():
+    """One tiny trained MEI shared by every Hypothesis example."""
+    rng = np.random.default_rng(3)
+    x = rng.uniform(0.05, 0.95, size=(48, 2))
+    y = x.mean(axis=1, keepdims=True)
+    mei = MEI(MEIConfig(in_groups=2, out_groups=1, hidden=6, bits=4), seed=0)
+    mei.train(x, y, TrainConfig(epochs=10, batch_size=16, learning_rate=0.05,
+                                shuffle_seed=0))
+    return mei, x, y
+
+
+def _mean_abs(predicted, target):
+    return float(np.mean(np.abs(predicted - target)))
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    sigma_pv=st.floats(min_value=0.0, max_value=0.5,
+                       allow_nan=False, allow_infinity=False),
+    sigma_sf=st.floats(min_value=0.0, max_value=0.2,
+                       allow_nan=False, allow_infinity=False),
+)
+def test_stage_deltas_sum_to_total_gap_within_residual(seed, sigma_pv, sigma_sf):
+    mei, x, y = _system()
+    config = ErrorBudgetConfig(
+        sigma_pv=sigma_pv, sigma_sf=sigma_sf, trials=2, seed=seed
+    )
+    result = attribute_error(mei, x, y, _mean_abs, config, benchmark="prop")
+
+    total = sum(stage.delta for stage in result.stages)
+    assert abs(result.total_gap - (total + result.residual)) < 1e-9
+
+    for stage in result.stages:
+        assert abs(stage.delta - (result.err_real - stage.counterfactual_error)) < 1e-12
+        assert abs(
+            stage.leave_one_in_delta
+            - (stage.leave_one_in_error - result.err_ideal)
+        ) < 1e-12
+
+    assert result.total_gap == result.err_real - result.err_ideal
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_attribution_is_deterministic_per_seed(seed):
+    mei, x, y = _system()
+    config = ErrorBudgetConfig(trials=2, seed=seed)
+    first = attribute_error(mei, x, y, _mean_abs, config, benchmark="prop")
+    second = attribute_error(mei, x, y, _mean_abs, config, benchmark="prop")
+    assert first.err_real == second.err_real
+    assert first.err_ideal == second.err_ideal
+    assert [s.delta for s in first.stages] == [s.delta for s in second.stages]
