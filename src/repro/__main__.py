@@ -488,16 +488,32 @@ def _start_telemetry(experiment: str):
 
 def _run_lint(args) -> int:
     from repro.lintrules import engine
-    from repro.lintrules.rules import rule_catalogue
+    from repro.lintrules.program import ALL_PROGRAM_RULES
+    from repro.lintrules.rules import ALL_RULES, rule_catalogue
 
     if args.list_rules:
-        print(rule_catalogue())
+        print(rule_catalogue(tuple(ALL_RULES) + tuple(ALL_PROGRAM_RULES)))
         return 0
     targets = args.paths if args.paths else [engine.default_target()]
+    if args.graph:
+        import ast as _ast
+
+        from repro.lintrules.graph import REPRO_CONTRACT, build_graph
+
+        parsed = []
+        for path in engine.iter_python_files(targets):
+            try:
+                parsed.append((path, _ast.parse(path.read_text(encoding="utf-8"))))
+            except SyntaxError:
+                continue
+        graph = build_graph(parsed)
+        if args.graph == "dot":
+            print(graph.to_dot(REPRO_CONTRACT))
+        else:
+            print(graph.to_svg(REPRO_CONTRACT))
+        return 0
+    findings = engine.run_paths(targets)
     files = list(engine.iter_python_files(targets))
-    findings = []
-    for path in files:
-        findings.extend(engine.check_source(path.read_text(encoding="utf-8"), path))
     if args.json:
         print(engine.render_json(findings, checked=len(files)))
     else:
@@ -567,6 +583,9 @@ def main(argv=None) -> int:
                              "installed repro package source)")
     parser.add_argument("--list-rules", action="store_true",
                         help="lint: print the RPR rule catalogue and exit")
+    parser.add_argument("--graph", choices=["dot", "svg"], default=None,
+                        help="lint: print the package import graph (layer "
+                             "level, lazy edges dashed) instead of linting")
     parser.add_argument("--write-baseline", action="store_true",
                         help="bench/errorbudget: also write the entry to the kind's "
                              "committed baseline snapshot (refused on a "

@@ -20,8 +20,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
 from repro.parallel.seeding import ensure_rng
 from repro.quant.fixedpoint import quantize_unit
+from repro.sanitize import guards as sanitize_guards
 
 __all__ = ["DAC", "ADC"]
 
@@ -61,6 +63,7 @@ class DAC:
 
     def convert(self, digital: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Digital codes (as unit-interval values) -> analog voltages."""
+        sanitize_guards.check_finite("dac", "digital_in", np.asarray(digital))
         analog = quantize_unit(digital, self.bits)
         if self.noise_lsb > 0:
             rng = ensure_rng(rng if rng is not None else self._rng, "analog.DAC")
@@ -100,7 +103,8 @@ class ADC:
 
     def convert(self, analog: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Analog voltages -> quantized unit-interval digital values."""
-        analog = np.asarray(analog, dtype=float)
+        analog = _astype(analog)
+        sanitize_guards.check_finite("adc", "analog_in", analog)
         if self.noise_lsb > 0:
             rng = ensure_rng(rng if rng is not None else self._rng, "analog.ADC")
             analog = analog + rng.normal(0.0, self.noise_lsb * 2.0**-self.bits, analog.shape)

@@ -18,7 +18,9 @@ from typing import Optional
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
 from repro.parallel.seeding import ensure_rng
+from repro.sanitize import guards as sanitize_guards
 
 __all__ = ["SigmoidNeuron", "Comparator"]
 
@@ -47,7 +49,7 @@ class SigmoidNeuron:
     rng: Optional[np.random.Generator] = None
 
     def __post_init__(self) -> None:
-        self.bias = np.atleast_1d(np.asarray(self.bias, dtype=float))
+        self.bias = np.atleast_1d(_astype(self.bias))
         if self.offset_sigma < 0:
             raise ValueError("offset_sigma must be >= 0")
         if self.offset_sigma > 0:
@@ -58,7 +60,8 @@ class SigmoidNeuron:
 
     def apply(self, analog_in: np.ndarray) -> np.ndarray:
         """Gain, bias, static mismatch offset, then sigmoid."""
-        analog_in = np.asarray(analog_in, dtype=float)
+        analog_in = _astype(analog_in)
+        sanitize_guards.check_finite("periphery", "neuron_in", analog_in)
         pre = self.gain * analog_in + self.bias + self._offsets
         pre = np.clip(pre, -60.0, 60.0)
         return 1.0 / (1.0 + np.exp(-pre))
@@ -96,9 +99,10 @@ class Comparator:
 
     def apply(self, analog_in: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
         """Threshold analog levels into hard 0/1 bits."""
-        analog_in = np.asarray(analog_in, dtype=float)
+        analog_in = _astype(analog_in)
+        sanitize_guards.check_finite("periphery", "comparator_in", analog_in)
         threshold = self.threshold
         if self.offset_sigma > 0:
             rng = ensure_rng(rng if rng is not None else self._rng, "analog.Comparator")
             threshold = threshold + rng.normal(0.0, self.offset_sigma, analog_in.shape)
-        return (analog_in >= threshold).astype(float)
+        return _astype(analog_in >= threshold)

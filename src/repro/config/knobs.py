@@ -341,3 +341,13 @@ register(
     "Re-execution budget per task in a resilient map before it degrades to "
     "the in-parent serial fallback.",
 )
+register(
+    "REPRO_SANITIZE",
+    "bool",
+    "0",
+    "Arm the runtime sanitizer (`repro.sanitize`): NaN/Inf guards on the "
+    "trainer and the DAC->crossbar->ADC path, physical-range checks on "
+    "programmed conductances, read-only enforcement on SHM-fanned arrays "
+    "and a shared-Generator race detector. Findings surface on the "
+    "`sanitize_findings` counter and the structured log.",
+)

@@ -69,7 +69,7 @@ class TradeoffResult:
         return pareto_front(self.points)
 
     def render(self) -> str:
-        from repro.experiments.runner import format_table
+        from repro.core.runner import format_table
 
         frontier = {id(p) for p in self.pareto}
         rows = [

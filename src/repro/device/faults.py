@@ -23,12 +23,16 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
 from repro.parallel.seeding import derive_seed, ensure_rng
-from repro.xbar.crossbar import Crossbar
+
+if TYPE_CHECKING:
+    # annotation-only: a module-scope import here would put an upward
+    # device -> xbar edge in the real DAG (repro-lint RPR006)
+    from repro.xbar.crossbar import Crossbar
 
 __all__ = [
     "DEFECT_HEALTHY",

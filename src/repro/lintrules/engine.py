@@ -17,20 +17,27 @@ import tokenize
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Union
 
+from repro.lintrules.program import ALL_PROGRAM_RULES, ProgramRule, build_context
 from repro.lintrules.rules import ALL_RULES, ImportMap, Rule
 
 __all__ = [
     "Finding",
+    "SCHEMA_VERSION",
     "check_source",
     "default_target",
     "iter_python_files",
     "render_human",
     "render_json",
     "run_paths",
+    "run_program",
     "suppressed_lines",
 ]
 
 PathLike = Union[str, pathlib.Path]
+
+SCHEMA_VERSION = 2
+"""Version of the ``--json`` report schema.  2 added the field itself,
+program-rule findings (RPR006–RPR011) and globally stable ordering."""
 
 _SUPPRESSION = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+)")
 
@@ -96,6 +103,8 @@ def check_source(
     disabled = suppressed_lines(source)
     findings = []
     for rule in rules:
+        if rule.applies is not None and not rule.applies(path):
+            continue
         for line, col, message in rule.check(tree, imports, is_library):
             if rule.code in disabled.get(line, ()):
                 continue
@@ -133,16 +142,55 @@ def default_target() -> pathlib.Path:
     return pathlib.Path(repro.__file__).parent
 
 
+def run_program(
+    files: Sequence[pathlib.Path],
+    program_rules: Sequence[ProgramRule] = ALL_PROGRAM_RULES,
+) -> List[Finding]:
+    """Run the whole-program rules (RPR006/RPR008/RPR009) over a file set.
+
+    Suppressions work exactly as for per-file rules: a ``# repro-lint:
+    disable=RPRnnn`` comment on the anchored line silences the finding.
+    """
+    parsed = []
+    suppressions: Dict[pathlib.Path, Dict[int, Set[str]]] = {}
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue
+        parsed.append((path, source, tree))
+        suppressions[path] = suppressed_lines(source)
+    context = build_context(parsed)
+    findings: List[Finding] = []
+    for rule in program_rules:
+        for path, line, col, message in rule.check(context):
+            if rule.code in suppressions.get(path, {}).get(line, ()):
+                continue
+            findings.append(
+                Finding(rule=rule.code, path=str(path), line=line, col=col, message=message)
+            )
+    return findings
+
+
 def run_paths(
     paths: Optional[Iterable[PathLike]] = None,
     rules: Sequence[Rule] = ALL_RULES,
+    program_rules: Sequence[ProgramRule] = ALL_PROGRAM_RULES,
 ) -> List[Finding]:
-    """Lint every Python file under ``paths`` (default: the repro package)."""
+    """Lint every Python file under ``paths`` (default: the repro package).
+
+    Runs the per-file rules over each module and the whole-program
+    rules once over the full set.
+    """
     targets = list(paths) if paths else [default_target()]
+    files = list(iter_python_files(targets))
     findings: List[Finding] = []
-    for path in iter_python_files(targets):
+    for path in files:
         source = path.read_text(encoding="utf-8")
         findings.extend(check_source(source, path, rules=rules))
+    findings.extend(run_program(files, program_rules=program_rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
 
 
@@ -164,14 +212,17 @@ def render_human(findings: Sequence[Finding], checked: Optional[int] = None) -> 
 def render_json(findings: Sequence[Finding], checked: Optional[int] = None) -> str:
     """Machine-readable report (uploaded as a CI artifact)."""
     per_rule: Dict[str, int] = {}
-    for finding in findings:
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    for finding in ordered:
         per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+    codes = {rule.code for rule in ALL_RULES} | {rule.code for rule in ALL_PROGRAM_RULES}
     payload = {
         "tool": "repro-lint",
-        "rules": [rule.code for rule in ALL_RULES],
+        "schema_version": SCHEMA_VERSION,
+        "rules": sorted(codes),
         "files_checked": checked,
-        "total": len(findings),
-        "by_rule": per_rule,
-        "findings": [finding.to_dict() for finding in findings],
+        "total": len(ordered),
+        "by_rule": {code: per_rule[code] for code in sorted(per_rule)},
+        "findings": [finding.to_dict() for finding in ordered],
     }
     return json.dumps(payload, indent=2)

@@ -12,10 +12,11 @@ the rules are robust to import spelling.
 from __future__ import annotations
 
 import ast
+import pathlib
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["ALL_RULES", "ImportMap", "RawFinding", "Rule", "rule_catalogue"]
+__all__ = ["ALL_RULES", "HOT_PATH_PACKAGES", "ImportMap", "RawFinding", "Rule", "rule_catalogue"]
 
 RawFinding = Tuple[int, int, str]
 """(line, column, message) produced by a rule before engine wrapping."""
@@ -27,12 +28,15 @@ class Rule:
 
     ``check(tree, import_map, is_library)`` yields raw findings; the
     engine attaches path/rule metadata and applies suppressions.
+    ``applies`` optionally gates the rule on the file path (e.g.
+    RPR007 only checks the hot-path packages); None = every file.
     """
 
     code: str
     summary: str
     rationale: str
     check: Callable[[ast.AST, "ImportMap", bool], Iterator[RawFinding]]
+    applies: Optional[Callable[[pathlib.Path], bool]] = None
 
 
 class ImportMap:
@@ -251,6 +255,162 @@ def _check_rpr005(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterat
             yield (node.lineno, node.col_offset, message)
 
 
+# ---------------------------------------------------------------------------
+# RPR007 — raw float dtype literals in hot-path packages
+# ---------------------------------------------------------------------------
+
+HOT_PATH_PACKAGES = frozenset({"nn", "xbar", "quant", "analog"})
+"""Subpackages whose array allocations must honour ``REPRO_DTYPE``
+via ``repro.config.dtype.astype`` (the deterministic data path)."""
+
+_FLOAT_DTYPE_STRINGS = frozenset({"float", "float64", "float32"})
+
+
+def _is_hot_path(path: pathlib.Path) -> bool:
+    parts = path.parts
+    for idx, part in enumerate(parts):
+        if part == "repro" and idx + 1 < len(parts) and parts[idx + 1] in HOT_PATH_PACKAGES:
+            return True
+    # bare fixture paths like "xbar/foo.py"
+    return bool(parts) and parts[0] in HOT_PATH_PACKAGES
+
+
+def _is_float_dtype_literal(node: ast.AST, imports: ImportMap) -> bool:
+    if isinstance(node, ast.Constant) and node.value in _FLOAT_DTYPE_STRINGS:
+        return True
+    if isinstance(node, ast.Name) and node.id == "float":
+        return True
+    qualified = _canonical(imports.qualify(node))
+    return qualified in ("numpy.float64", "numpy.float32")
+
+
+def _check_rpr007(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterator[RawFinding]:
+    message = (
+        "raw float dtype literal bypasses REPRO_DTYPE; allocate through "
+        "repro.config.dtype.astype() so the float32 data path stays honest"
+    )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "dtype" and _is_float_dtype_literal(keyword.value, imports):
+                # anchor at the call so one end-of-line suppression
+                # covers a multi-line call too
+                yield (node.lineno, node.col_offset, message)
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and len(node.args) == 1
+            and _is_float_dtype_literal(node.args[0], imports)
+        ):
+            yield (node.lineno, node.col_offset, message)
+
+
+# ---------------------------------------------------------------------------
+# RPR009 (per-file half) — metric objects constructed outside the registry
+# ---------------------------------------------------------------------------
+
+_METRIC_CLASSES = frozenset(
+    {
+        "repro.obs.metrics.Counter",
+        "repro.obs.metrics.Gauge",
+        "repro.obs.metrics.Histogram",
+        "repro.obs.metrics.MetricsRegistry",
+    }
+)
+
+
+def _check_rpr009(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterator[RawFinding]:
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _canonical(imports.qualify(node.func))
+        if name in _METRIC_CLASSES:
+            short = name.rsplit(".", 1)[1]
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"direct {short}() construction bypasses the process-wide "
+                "registry (snapshot/merge, OpenMetrics exposition); use the "
+                "counter()/gauge()/histogram() factories in repro.obs.metrics",
+            )
+
+
+def _not_metrics_module(path: pathlib.Path) -> bool:
+    return path.name != "metrics.py" or "obs" not in path.parts
+
+
+# ---------------------------------------------------------------------------
+# RPR010 — executors / SHM arenas used without context management
+# ---------------------------------------------------------------------------
+
+_MANAGED_RESOURCES = {
+    "repro.parallel.shm.ShmSession": "ShmSession",
+    "concurrent.futures.ThreadPoolExecutor": "ThreadPoolExecutor",
+    "concurrent.futures.ProcessPoolExecutor": "ProcessPoolExecutor",
+    "multiprocessing.shared_memory.SharedMemory": "SharedMemory",
+}
+
+
+def _managed_context_calls(tree: ast.AST) -> frozenset:
+    """Call nodes that are `with` items or fed to enter_context()."""
+    managed = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                managed.add(id(item.context_expr))
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "enter_context"
+            and node.args
+        ):
+            managed.add(id(node.args[0]))
+    return frozenset(managed)
+
+
+def _check_rpr010(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterator[RawFinding]:
+    managed = _managed_context_calls(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or id(node) in managed:
+            continue
+        name = _canonical(imports.qualify(node.func))
+        short = _MANAGED_RESOURCES.get(name or "")
+        if short is not None:
+            yield (
+                node.lineno,
+                node.col_offset,
+                f"{short}(...) outside a `with` block leaks segments/threads "
+                "on the error path; context-manage it (or enter_context on an "
+                "ExitStack) so teardown is exception-safe",
+            )
+
+
+# ---------------------------------------------------------------------------
+# RPR011 — spans opened without `with`
+# ---------------------------------------------------------------------------
+
+
+def _check_rpr011(tree: ast.AST, imports: ImportMap, is_library: bool) -> Iterator[RawFinding]:
+    managed = _managed_context_calls(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or id(node) in managed:
+            continue
+        name = _canonical(imports.qualify(node.func))
+        if name == "repro.obs.trace.span":
+            yield (
+                node.lineno,
+                node.col_offset,
+                "span(...) called without `with` never closes: the timing "
+                "never reaches the profile report and the span stack "
+                "corrupts; use `with span(...):`",
+            )
+
+
+def _not_trace_module(path: pathlib.Path) -> bool:
+    return path.name != "trace.py" or "obs" not in path.parts
+
+
 ALL_RULES: Tuple[Rule, ...] = (
     Rule(
         code="RPR001",
@@ -301,13 +461,66 @@ ALL_RULES: Tuple[Rule, ...] = (
         ),
         check=_check_rpr005,
     ),
+    Rule(
+        code="RPR007",
+        summary=(
+            "hot-path packages (nn/xbar/quant/analog) allocate through "
+            "repro.config.dtype.astype, not raw float dtype literals"
+        ),
+        rationale=(
+            "REPRO_DTYPE=float32 halves memory traffic only if every "
+            "allocation honours it; one stray dtype=float silently promotes "
+            "the whole downstream pipeline back to float64."
+        ),
+        check=_check_rpr007,
+        applies=_is_hot_path,
+    ),
+    Rule(
+        code="RPR009",
+        summary="metric objects come from the counter()/gauge()/histogram() factories",
+        rationale=(
+            "Metrics constructed outside the registry are invisible to "
+            "snapshot/diff/merge and the OpenMetrics endpoint, so their "
+            "numbers silently vanish from worker processes and dashboards."
+        ),
+        check=_check_rpr009,
+        applies=_not_metrics_module,
+    ),
+    Rule(
+        code="RPR010",
+        summary="executors and SHM arenas are context-managed",
+        rationale=(
+            "A ShmSession or pool torn down by hand leaks POSIX segments and "
+            "worker processes when the sweep raises; `with` makes teardown "
+            "exception-safe."
+        ),
+        check=_check_rpr010,
+    ),
+    Rule(
+        code="RPR011",
+        summary="trace spans are opened with `with span(...)`",
+        rationale=(
+            "An unclosed span corrupts the span stack and drops its timing "
+            "from the profile report, which the CI profile gate then flags "
+            "as lost coverage."
+        ),
+        check=_check_rpr011,
+        applies=_not_trace_module,
+    ),
 )
 
 
-def rule_catalogue() -> str:
-    """Human-readable rule listing for ``--list-rules``."""
+def rule_catalogue(rules: Optional[Tuple] = None) -> str:
+    """Human-readable rule listing for ``--list-rules``.
+
+    Accepts any sequence of objects carrying ``code``/``summary``/
+    ``rationale`` (per-file Rules and ProgramRules alike); defaults to
+    the per-file set.
+    """
+    listed = list(ALL_RULES) if rules is None else list(rules)
+    listed.sort(key=lambda rule: rule.code)
     lines = []
-    for rule in ALL_RULES:
+    for rule in listed:
         lines.append(f"{rule.code}  {rule.summary}")
         lines.append(f"        {rule.rationale}")
     return "\n".join(lines)

@@ -101,7 +101,9 @@ def resample(
     """
     x = np.asarray(x)
     y = np.asarray(y)
-    p = np.asarray(probabilities, dtype=float)
+    # sampling probabilities feed Generator.choice and are part of the
+    # float64 RNG replay contract, not the REPRO_DTYPE data path
+    p = np.asarray(probabilities, dtype=float)  # repro-lint: disable=RPR007
     if len(x) != len(y) or len(p) != len(x):
         raise ValueError("x, y and probabilities must share their length")
     if np.any(p < 0):

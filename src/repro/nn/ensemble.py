@@ -42,6 +42,7 @@ from repro.nn.network import MLP
 from repro.nn.trainer import TrainConfig, TrainResult
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+from repro.sanitize import guards as sanitize_guards
 
 __all__ = ["EnsembleTrainer", "train_ensemble"]
 
@@ -261,6 +262,7 @@ class EnsembleTrainer:
                     )
                     pred = _forward(stacks, xb, train=True)
                     grad = self._gradient(pred, yb, wb)
+                    sanitize_guards.check_finite("ensemble", "loss_gradient", grad)
                     _backward(stacks, grad)
                     if self.config.l2 > 0:
                         for layer in stacks:

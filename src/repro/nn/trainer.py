@@ -23,6 +23,7 @@ from repro.nn.optimizers import Optimizer
 from repro.obs import metrics as obs_metrics
 from repro.obs.log import get_logger
 from repro.obs.trace import span
+from repro.sanitize import guards as sanitize_guards
 
 __all__ = ["TrainConfig", "TrainResult", "Trainer"]
 
@@ -187,6 +188,7 @@ class Trainer:
                             )
                     pred = model.forward(xb, train=True)
                     grad = self.loss.gradient(pred, yb, wb)
+                    sanitize_guards.check_finite("trainer", "loss_gradient", grad)
                     model.backward(grad)
                     if clean_weights is not None:
                         # Apply the perturbed-point gradients to the clean

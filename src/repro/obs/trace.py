@@ -60,7 +60,10 @@ _records: "List[SpanRecord]" = []
 _active: "Dict[int, Dict[str, object]]" = {}
 _seq = itertools.count()
 _state = threading.local()
-_enabled = knobs.get_bool(TRACE_ENV)
+_enabled: "Optional[bool]" = None
+"""Tri-state: None = not yet resolved from the REPRO_TRACE knob.
+Resolved on first use (never at import time — repro-lint RPR008) so
+tests and callers can set the environment after importing the module."""
 
 
 @dataclass(frozen=True)
@@ -83,6 +86,9 @@ class SpanRecord:
 
 
 def enabled() -> bool:
+    global _enabled
+    if _enabled is None:
+        _enabled = knobs.get_bool(TRACE_ENV)
     return _enabled
 
 
@@ -185,7 +191,7 @@ class _Span:
 
 def span(name: str, **attrs):
     """Open a span; a no-op unless tracing is enabled."""
-    if not _enabled:
+    if not enabled():
         return _NOOP
     return _Span(name, attrs)
 

@@ -237,6 +237,12 @@ class ThreadExecutor(Executor):
             return [fn(item) for item in items]
         from concurrent.futures import ThreadPoolExecutor
 
+        from repro.sanitize import rng as sanitize_rng
+
+        # One generator shipped in two payloads means two worker
+        # threads interleaving draws on one stream — flag it before
+        # the pool scrambles the evidence.
+        sanitize_rng.scan_items("thread-executor", items)
         pool_size = min(self.workers, len(items))
         with obs_trace.span("parallel_map", kind="thread", tasks=len(items),
                             workers=pool_size):

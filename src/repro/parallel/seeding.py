@@ -29,6 +29,8 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.sanitize import rng as sanitize_rng
+
 __all__ = ["RngLike", "derive_seed", "derive_seeds", "ensure_rng", "fresh_rng"]
 
 RngLike = Union[np.random.Generator, np.random.SeedSequence, int, np.integer, None]
@@ -73,6 +75,10 @@ def ensure_rng(rng: RngLike = None, label: str = "") -> np.random.Generator:
       new generator deterministically.
     """
     if isinstance(rng, np.random.Generator):
+        # ensure_rng is the chokepoint every seed-or-rng argument flows
+        # through, so this is where the sanitizer learns which thread
+        # consumes which generator (rng-shared race detection).
+        sanitize_rng.note_rng(rng, label)
         return rng
     if rng is None:
         return fresh_rng(label)

@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.config import knobs
 from repro.obs import metrics as obs_metrics
+from repro.sanitize import guards as sanitize_guards
 
 __all__ = [
     "SHM_ENV",
@@ -88,6 +89,7 @@ class ShmSession:
 
     def __init__(self) -> None:
         self._segments: list[shared_memory.SharedMemory] = []
+        self._refs: list[ShmRef] = []
         self._by_buffer: Dict[Tuple[int, int, str, Tuple[int, ...]], ShmRef] = {}
 
     def share(self, array: np.ndarray) -> ShmRef:
@@ -101,12 +103,19 @@ class ShmSession:
         cached = self._by_buffer.get(key)
         if cached is not None:
             return cached
-        segment = shared_memory.SharedMemory(create=True, size=contiguous.nbytes)
+        # segment lifetime spans the whole sweep, not this call: the
+        # owning ShmSession (itself context-managed) unlinks in close()
+        segment = shared_memory.SharedMemory(create=True, size=contiguous.nbytes)  # repro-lint: disable=RPR010
         view = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf)
         view[...] = contiguous
         self._segments.append(segment)
         ref = ShmRef(segment.name, contiguous.shape, str(contiguous.dtype))
+        self._refs.append(ref)
         self._by_buffer[key] = ref
+        # Read-only contract: the fanned-out segment must come back
+        # bit-identical at close() (workers get non-writeable views,
+        # but nothing stops a worker from re-flagging one).
+        sanitize_guards.watch_buffer("shm", ref.name, view)
         obs_metrics.counter("shm_segments").inc()
         obs_metrics.counter("shm_bytes").inc(contiguous.nbytes)
         obs_metrics.gauge("shm_active_bytes").add(contiguous.nbytes)
@@ -114,7 +123,13 @@ class ShmSession:
 
     def close(self) -> None:
         released = 0
-        for segment in self._segments:
+        for segment, ref in zip(self._segments, self._refs):
+            try:
+                view = np.ndarray(ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf)
+                sanitize_guards.verify_buffer("shm", ref.name, view)
+                del view
+            except Exception:  # pragma: no cover - segment already torn down
+                pass
             try:
                 released += segment.size
                 segment.close()
@@ -124,6 +139,7 @@ class ShmSession:
         if released:
             obs_metrics.gauge("shm_active_bytes").add(-released)
         self._segments.clear()
+        self._refs.clear()
         self._by_buffer.clear()
 
     def __enter__(self) -> "ShmSession":
@@ -164,7 +180,9 @@ _attached: Dict[str, shared_memory.SharedMemory] = {}
 def _attach(name: str) -> shared_memory.SharedMemory:
     segment = _attached.get(name)
     if segment is None:
-        segment = shared_memory.SharedMemory(name=name)
+        # worker-side attachment is deliberately process-lived (cached in
+        # _attached so views stay backed); the parent unlinks the storage
+        segment = shared_memory.SharedMemory(name=name)  # repro-lint: disable=RPR010
         # Attaching registered the segment with a resource tracker.
         # Fork-started workers share the parent's tracker, where the
         # name is already registered (registration is a set add), so

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
+
 __all__ = ["msb_weights", "harden", "msb_match", "bit_error_rate"]
 
 
@@ -44,13 +46,13 @@ def msb_weights(bits: int, groups: int = 1, decay: float = 2.0) -> np.ndarray:
         raise ValueError(f"groups must be >= 1, got {groups}")
     if decay <= 0:
         raise ValueError(f"decay must be positive, got {decay}")
-    pattern = decay ** -np.arange(bits, dtype=float)
+    pattern = decay ** -_astype(np.arange(bits))
     return np.tile(pattern, groups)
 
 
 def harden(soft_bits: np.ndarray, threshold: float = 0.5) -> np.ndarray:
     """Threshold continuous outputs to 0/1 levels (1-bit comparator)."""
-    return (np.asarray(soft_bits, dtype=float) >= threshold).astype(float)
+    return _astype(np.asarray(soft_bits) >= threshold)
 
 
 def msb_match(

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.mei import MEI, MEIConfig
 from repro.device.faults import FaultModel, inject_faults_analog_report
-from repro.experiments.runner import (
+from repro.core.runner import (
     ExperimentScale,
     format_table,
     train_config,

@@ -1,0 +1,150 @@
+"""Numeric and buffer guards for the runtime sanitizer.
+
+Each guard early-returns when :func:`repro.sanitize.enabled` is false,
+so a disabled sanitizer costs one cached boolean test per call site.
+Guards record findings through :func:`repro.sanitize.record` instead of
+raising — see the package docstring for why.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+import types
+from collections import OrderedDict
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["check_finite", "check_range", "verify_buffer", "watch_buffer"]
+
+_MAX_WATCHED = 4096
+
+_watch_lock = threading.Lock()
+_watched: "OrderedDict[str, Tuple[str, Tuple[int, ...]]]" = OrderedDict()
+
+
+def _sanitize() -> types.ModuleType:
+    """The package root, imported lazily (guards load during its init)."""
+    import repro.sanitize as sanitize
+
+    return sanitize
+
+
+def _digest(array: np.ndarray) -> str:
+    data = np.ascontiguousarray(array)
+    return hashlib.blake2b(data.tobytes(), digest_size=16).hexdigest()
+
+
+def check_finite(stage: str, name: str, array: np.ndarray) -> bool:
+    """Record a finding if ``array`` contains NaN or Inf.
+
+    Returns ``True`` when the array is clean (or the sanitizer is off),
+    so call sites can gate optional recovery logic on the result.
+    """
+    sanitize = _sanitize()
+    if not sanitize.enabled():
+        return True
+    values = np.asarray(array)
+    if values.size == 0 or not np.issubdtype(values.dtype, np.number):
+        return True
+    finite = np.isfinite(values)
+    if bool(finite.all()):
+        return True
+    bad = int(values.size - int(finite.sum()))
+    nan_count = int(np.isnan(values).sum())
+    sanitize.record(
+        stage,
+        "non-finite",
+        f"{name}: {bad}/{values.size} non-finite values "
+        f"({nan_count} NaN, {bad - nan_count} Inf)",
+        name=name,
+        bad=bad,
+        size=int(values.size),
+    )
+    return False
+
+
+def check_range(
+    stage: str,
+    name: str,
+    array: np.ndarray,
+    lo: float,
+    hi: float,
+    rtol: float = 1e-9,
+) -> bool:
+    """Record a finding if any element leaves ``[lo, hi]``.
+
+    Used for programmed conductances: after mapping, every device must
+    sit inside the physical ``[g_off, g_on]`` window (a value outside
+    it is not programmable on real hardware, so the simulated accuracy
+    would be fiction).  ``rtol`` absorbs float round-off at the window
+    edges.
+    """
+    sanitize = _sanitize()
+    if not sanitize.enabled():
+        return True
+    values = np.asarray(array)
+    if values.size == 0:
+        return True
+    slack = rtol * max(abs(lo), abs(hi), 1.0)
+    outside = (values < lo - slack) | (values > hi + slack)
+    if not bool(outside.any()):
+        return True
+    count = int(outside.sum())
+    worst = float(values[outside].flat[np.argmax(np.abs(values[outside] - (lo + hi) / 2))])
+    sanitize.record(
+        stage,
+        "range",
+        f"{name}: {count}/{values.size} values outside [{lo:.4g}, {hi:.4g}] "
+        f"(worst {worst:.6g})",
+        name=name,
+        count=count,
+        lo=lo,
+        hi=hi,
+        worst=worst,
+    )
+    return False
+
+
+def watch_buffer(stage: str, name: str, array: np.ndarray) -> None:
+    """Checksum a buffer that must stay immutable (e.g. an SHM segment).
+
+    Call once after publishing the buffer; :func:`verify_buffer` with
+    the same ``name`` later detects any write that happened in between.
+    """
+    sanitize = _sanitize()
+    if not sanitize.enabled():
+        return
+    values = np.asarray(array)
+    with _watch_lock:
+        while len(_watched) >= _MAX_WATCHED:
+            _watched.popitem(last=False)
+        _watched[name] = (_digest(values), tuple(values.shape))
+
+
+def verify_buffer(stage: str, name: str, array: np.ndarray) -> bool:
+    """Record a finding if a watched buffer changed since :func:`watch_buffer`."""
+    sanitize = _sanitize()
+    if not sanitize.enabled():
+        return True
+    with _watch_lock:
+        expected = _watched.get(name)
+    if expected is None:
+        return True
+    values = np.asarray(array)
+    if _digest(values) == expected[0] and tuple(values.shape) == expected[1]:
+        return True
+    sanitize.record(
+        stage,
+        "shm-mutated",
+        f"{name}: buffer contents changed while shared "
+        f"(shape {tuple(values.shape)}, expected shape {expected[1]})",
+        name=name,
+    )
+    return False
+
+
+def _reset() -> None:
+    with _watch_lock:
+        _watched.clear()

@@ -1,0 +1,142 @@
+"""Seed-discipline race detector.
+
+The repo's replay contract (see :mod:`repro.parallel.seeding`) assumes
+each :class:`numpy.random.Generator` is consumed by exactly one thread:
+a generator's stream is only replayable if the *order* of draws is
+deterministic, and two threads interleaving draws on one generator
+destroys that order (besides racing the generator's internal state,
+which numpy does not lock).
+
+:func:`note_rng` is called from :func:`repro.parallel.seeding.ensure_rng`
+— the single chokepoint every seed-or-rng argument flows through — and
+from the thread executor's fan-out scan.  Handing a generator from the
+main thread to one worker is fine (sequential hand-off); the guard
+fires when a generator is *used* from two or more distinct non-main
+threads.
+
+``np.random.Generator`` does not support weak references, so the
+registry holds strong references in a bounded FIFO map: pathological
+programs creating millions of generators evict the oldest entries
+rather than leaking.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, Sequence, Set, Tuple
+
+import numpy as np
+
+__all__ = ["note_rng", "scan_items"]
+
+_MAX_TRACKED = 4096
+
+_lock = threading.Lock()
+# id(rng) -> (rng, thread names seen, already reported)
+_seen: "OrderedDict[int, Tuple[np.random.Generator, Set[str], bool]]" = OrderedDict()
+
+
+def _thread_name() -> str:
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return "MainThread"
+    return f"{thread.name}#{thread.ident}"
+
+
+def note_rng(rng: np.random.Generator, label: str = "") -> bool:
+    """Record that ``rng`` is about to be used on the current thread.
+
+    Returns ``True`` while the generator's usage is single-threaded
+    (or the sanitizer is off).  Records one ``rng-shared`` finding —
+    once per generator — when a second worker thread shows up.
+    """
+    import repro.sanitize as sanitize
+
+    if not sanitize.enabled():
+        return True
+    # not normalization: ensure_rng itself calls in here, so this guard
+    # must tolerate (and ignore) non-Generator values without recursing
+    if not isinstance(rng, np.random.Generator):  # repro-lint: disable=RPR005
+        return True
+    name = _thread_name()
+    with _lock:
+        entry = _seen.get(id(rng))
+        if entry is None:
+            while len(_seen) >= _MAX_TRACKED:
+                _seen.popitem(last=False)
+            _seen[id(rng)] = (rng, {name}, False)
+            return True
+        kept, threads, reported = entry
+        threads.add(name)
+        workers = [t for t in threads if t != "MainThread"]
+        # main -> one worker hand-off is a sequential transfer and stays
+        # replayable; two distinct workers drawing on one generator is not.
+        shared = len(workers) >= 2
+        if not shared or reported:
+            return not shared
+        _seen[id(rng)] = (kept, threads, True)
+    sanitize.record(
+        "rng",
+        "rng-shared",
+        f"generator{f' ({label})' if label else ''} used from multiple "
+        f"threads: {sorted(threads)} — interleaved draws break seed replay",
+        label=label,
+        threads=sorted(threads),
+    )
+    return False
+
+
+def _shallow_generators(item: object) -> Iterator[np.random.Generator]:
+    """Generators in a task payload: the item itself, or one container deep."""
+    if isinstance(item, np.random.Generator):
+        yield item
+        return
+    values: Iterable[object] = ()
+    if isinstance(item, (tuple, list, set)):
+        values = item
+    elif isinstance(item, dict):
+        values = item.values()
+    for value in values:
+        if isinstance(value, np.random.Generator):
+            yield value
+
+
+def scan_items(stage: str, items: Sequence[object]) -> bool:
+    """Flag a Generator shipped inside two or more fan-out payloads.
+
+    Called by the thread executor before submitting: each payload runs
+    on its own worker thread, so one generator appearing in two items
+    *will* be drawn from two threads — catch it at submission, before
+    the interleaving scrambles the streams.  Returns ``True`` when the
+    payloads are disjoint (or the sanitizer is off).
+    """
+    import repro.sanitize as sanitize
+
+    if not sanitize.enabled():
+        return True
+    counts: Dict[int, int] = {}
+    keep: Dict[int, np.random.Generator] = {}
+    for item in items:
+        for rng in {id(g): g for g in _shallow_generators(item)}.values():
+            counts[id(rng)] = counts.get(id(rng), 0) + 1
+            keep[id(rng)] = rng
+    clean = True
+    for rng_id, count in counts.items():
+        if count >= 2:
+            clean = False
+            sanitize.record(
+                stage,
+                "rng-shared",
+                f"one generator shipped in {count} of {len(items)} parallel "
+                "task payloads — each worker thread would interleave draws "
+                "on the same stream",
+                payloads=count,
+                tasks=len(items),
+            )
+    return clean
+
+
+def _reset() -> None:
+    with _lock:
+        _seen.clear()

@@ -42,7 +42,9 @@ def effective_coefficients(
     Columns of the identity drive the MNA solver; the stacked
     responses are the effective linear map (the network is linear).
     """
-    g = np.asarray(conductances, dtype=float)
+    # programmed conductances are device-physics quantities and feed the
+    # float64-only MNA solve; they do not follow REPRO_DTYPE
+    g = np.asarray(conductances, dtype=float)  # repro-lint: disable=RPR007
     mna = MNACrossbar(g, g_s=g_s, wire_resistance=wire_resistance)
     basis = np.eye(g.shape[0])
     return mna.solve(basis)
@@ -91,13 +93,14 @@ def compensate_ir_drop(
     device:
         Programmable window for clipping.
     """
-    g = device.clip_conductance(np.asarray(conductances, dtype=float))
+    # physical conductance domain stays float64 (see module docstring)
+    g = device.clip_conductance(np.asarray(conductances, dtype=float))  # repro-lint: disable=RPR007
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
     if target is None:
         target = coefficients_from_conductance(g, g_s)
     else:
-        target = np.asarray(target, dtype=float)
+        target = np.asarray(target, dtype=float)  # repro-lint: disable=RPR007
         if target.shape != g.shape:
             raise ValueError(f"target shape {target.shape} != array shape {g.shape}")
 

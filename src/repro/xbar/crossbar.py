@@ -30,6 +30,7 @@ import numpy as np
 from repro.config.dtype import astype as _astype
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
 from repro.device.variation import NonIdealFactors, lognormal_factor_stack
+from repro.sanitize import guards as sanitize_guards
 
 __all__ = [
     "Crossbar",
@@ -186,6 +187,14 @@ class Crossbar:
         v_in = np.atleast_2d(_astype(v_in))
         if v_in.shape[1] != self.rows:
             raise ValueError(f"input has {v_in.shape[1]} ports, crossbar has {self.rows} rows")
+        # The programmed states were clipped at construction; catch any
+        # post-construction drift (fault injection, manual edits) that
+        # left the physical window before it silently skews Eq. 2.
+        sanitize_guards.check_range(
+            "crossbar", "conductances", self.conductances,
+            self.device.g_min, self.device.g_max,
+        )
+        sanitize_guards.check_finite("crossbar", "v_in", v_in)
         if noise is not None:
             if rng is None:
                 rng = noise.rng()

@@ -41,6 +41,7 @@ from repro.device.variation import (
     lognormal_factors,
 )
 from repro.obs import metrics as obs_metrics
+from repro.sanitize import guards as sanitize_guards
 from repro.xbar.crossbar import Crossbar
 
 __all__ = [
@@ -264,6 +265,16 @@ class DifferentialCrossbar:
             g_pos = solve_conductances(c_pos, self.config.g_s, device)
             g_neg = solve_conductances(c_neg, self.config.g_s, device)
             _cache_put(key, (self.scale, g_pos, g_neg))
+        # Programmability assertion: the solved states must sit inside
+        # the physical [g_min, g_max] window (clip_conductance should
+        # guarantee it; a finding here means the solve or the cache
+        # handed back something real hardware cannot program).
+        sanitize_guards.check_range(
+            "mapping", "g_pos", g_pos, device.g_min, device.g_max
+        )
+        sanitize_guards.check_range(
+            "mapping", "g_neg", g_neg, device.g_min, device.g_max
+        )
         self.positive = Crossbar(
             g_pos,
             self.config.g_s,

@@ -94,7 +94,10 @@ class MNACrossbar:
         wire_resistance: float = 2.0,
         solver: str = "auto",
     ):
-        conductances = np.asarray(conductances, dtype=float)
+        # the MNA physics solve is fixed float64 by design (conductance
+        # stamps and banded LU; see docs/performance.md) — REPRO_DTYPE
+        # only steers the digital data path
+        conductances = np.asarray(conductances, dtype=float)  # repro-lint: disable=RPR007
         if conductances.ndim != 2:
             raise ValueError(f"conductances must be 2-D, got shape {conductances.shape}")
         if np.any(conductances < 0):
@@ -218,10 +221,11 @@ class MNACrossbar:
         # source map has one column per input port), and a plain
         # ndarray matmul avoids both the per-solve densification and
         # the deprecated np.matrix semantics of ``.todense()``.
-        self._source_map_dense = np.asarray(self._source_map.toarray(), dtype=float)
+        self._source_map_dense = np.asarray(  # repro-lint: disable=RPR007
+            self._source_map.toarray(), dtype=float)
         self._n_nodes = n_nodes
 
-        data_arr = np.asarray(data, dtype=float)
+        data_arr = np.asarray(data, dtype=float)  # repro-lint: disable=RPR007
         rows_arr = np.asarray(rows_idx, dtype=np.intp)
         cols_arr = np.asarray(cols_idx, dtype=np.intp)
         choice = self.solver
@@ -339,7 +343,7 @@ class MNACrossbar:
         -------
         Output voltages at the bitline terminals, shape ``(batch, cols)``.
         """
-        v_in = np.atleast_2d(np.asarray(v_in, dtype=float))
+        v_in = np.atleast_2d(np.asarray(v_in, dtype=float))  # repro-lint: disable=RPR007
         if v_in.shape[1] != self.rows:
             raise ValueError(f"input has {v_in.shape[1]} ports, crossbar has {self.rows} rows")
         t_start = time.perf_counter()
@@ -365,7 +369,7 @@ class MNACrossbar:
         """Reference outputs from the zero-wire-resistance model."""
         from repro.xbar.crossbar import coefficients_from_conductance
 
-        v_in = np.atleast_2d(np.asarray(v_in, dtype=float))
+        v_in = np.atleast_2d(np.asarray(v_in, dtype=float))  # repro-lint: disable=RPR007
         return v_in @ coefficients_from_conductance(self.g, self.g_s)
 
     def ir_drop_error(self, v_in: np.ndarray) -> float:

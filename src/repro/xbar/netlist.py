@@ -56,7 +56,9 @@ def crossbar_netlist(
 
     Returns the netlist as a string (caller writes it to a file).
     """
-    g = np.asarray(conductances, dtype=float)
+    # SPICE decks are written at full float64 precision regardless of the
+    # REPRO_DTYPE data-path setting: the netlist is a physical artifact
+    g = np.asarray(conductances, dtype=float)  # repro-lint: disable=RPR007
     if g.ndim != 2:
         raise ValueError(f"conductances must be 2-D, got shape {g.shape}")
     if np.any(g < 0):

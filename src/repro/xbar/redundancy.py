@@ -81,7 +81,9 @@ def remap_spare_columns(
     defect consume a spare.  Returns the :class:`RemapReport`.
     """
     defects = np.asarray(defects)
-    pristine = np.asarray(pristine, dtype=float)
+    # pristine conductances are physical device values (float64 domain,
+    # like the MNA solve and noise draws), not REPRO_DTYPE data
+    pristine = np.asarray(pristine, dtype=float)  # repro-lint: disable=RPR007
     if defects.shape != array.conductances.shape:
         raise ValueError(
             f"defect map shape {defects.shape} does not match "

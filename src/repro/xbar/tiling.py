@@ -20,6 +20,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.config.dtype import astype as _astype
 from repro.device.rram import HFOX_DEVICE, RRAMDevice
 from repro.device.variation import NonIdealFactors
 from repro.xbar.mapping import DifferentialCrossbar, MappingConfig
@@ -48,7 +49,7 @@ class TiledDifferentialCrossbar:
         config: Optional[MappingConfig] = None,
         device: RRAMDevice = HFOX_DEVICE,
     ):
-        weights = np.asarray(weights, dtype=float)
+        weights = _astype(weights)
         if weights.ndim != 2:
             raise ValueError(f"weights must be 2-D, got shape {weights.shape}")
         if max_rows < 1:
@@ -86,7 +87,7 @@ class TiledDifferentialCrossbar:
         rng: Optional[np.random.Generator] = None,
     ) -> np.ndarray:
         """Compute ``x @ W`` by summing the tiles' output currents."""
-        x = np.atleast_2d(np.asarray(x, dtype=float))
+        x = np.atleast_2d(_astype(x))
         if x.shape[1] != self.in_dim:
             raise ValueError(f"input has {x.shape[1]} ports, matrix has {self.in_dim} rows")
         total = None
@@ -118,7 +119,7 @@ class TiledDifferentialCrossbar:
         bit-identical to looping over trials.  ``pv_factors`` is the
         optional per-tile list from :meth:`consume_pv_factors`.
         """
-        x = np.asarray(x, dtype=float)
+        x = _astype(x)
         if x.ndim != 3:
             raise ValueError(f"trial stack must be 3-D, got shape {x.shape}")
         if x.shape[2] != self.in_dim:

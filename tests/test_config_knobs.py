@@ -46,6 +46,7 @@ class TestRegistry:
             "REPRO_TASK_RETRIES",
             "REPRO_DTYPE",
             "REPRO_ERRORBUDGET_TRIALS",
+            "REPRO_SANITIZE",
             "REPRO_SHM",
             "REPRO_TELEMETRY",
             "REPRO_TELEMETRY_PORT",
