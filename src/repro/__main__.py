@@ -20,7 +20,17 @@ Usage::
     python -m repro profile [--json]      # ranked span hot-spot report
     python -m repro metrics-server        # standalone OpenMetrics endpoint
     python -m repro top [--url URL]       # live terminal dashboard
+    python -m repro serve [--bench fft]   # inference service (HTTP)
     python -m repro --version
+
+Serving: ``serve`` trains (or loads, via ``--artifact``) a system,
+wraps it in the micro-batched request path and answers value-domain
+predictions over HTTP (``POST /v1/predict``), with the ``serve_*``
+metric families on ``GET /metrics``.  ``--save-only`` just builds the
+load-once model artifact; ``--smoke`` starts an ephemeral server,
+drives a quick loadgen through it, differential-checks one response
+against the in-process prediction and exits non-zero on any failure
+(the CI serve-smoke step).  See ``docs/serving.md``.
 
 Live telemetry: set ``REPRO_TELEMETRY=1`` to run any experiment with
 the background sampler and the OpenMetrics endpoint attached (port
@@ -417,6 +427,135 @@ def _run_profile(args, scale) -> int:
     return 0
 
 
+def _run_serve(args, scale) -> int:
+    """The inference service: artifact -> micro-batched HTTP request path.
+
+    Always materializes through the on-disk artifact (train -> save ->
+    load) so every serving process exercises the exact path a
+    production deploy would; ``--smoke`` additionally differential-
+    checks a served response against the in-process prediction
+    (``docs/serving.md``).
+    """
+    import pathlib
+
+    import numpy as np
+
+    from repro.config import knobs
+    from repro.serve import load_artifact, save_artifact, train_serve_system
+
+    artifact = args.artifact
+    if artifact is None or not pathlib.Path(artifact).exists():
+        name = args.bench or "fft"
+        ensemble = args.ensemble if args.ensemble and args.ensemble > 1 else 0
+        _log.info(
+            "training serve system",
+            extra={"fields": {"benchmark": name, "scale": scale.name,
+                              "seed": args.seed, "ensemble": ensemble}},
+        )
+        with span("serve-train", benchmark=name, seed=args.seed):
+            system, _ = train_serve_system(
+                name, scale=scale, seed=args.seed, ensemble=ensemble
+            )
+        if artifact is None:
+            run_dir = args.run_dir or knobs.get_path("REPRO_RUN_DIR") or "runs"
+            pathlib.Path(run_dir).mkdir(parents=True, exist_ok=True)
+            artifact = str(pathlib.Path(run_dir) / f"serve-{name}.npz")
+        save_artifact(system, artifact, benchmark=name)
+        print(f"model artifact written: {artifact}", file=sys.stderr)
+    model = load_artifact(artifact)
+    if args.save_only:
+        return 0
+
+    if args.smoke:
+        import urllib.request
+
+        from repro.obs import openmetrics
+        from repro.serve.loadgen import run_loadgen
+        from repro.serve.service import BackgroundServer
+
+        failures = []
+        with BackgroundServer(model, port=0) as server:
+            with urllib.request.urlopen(server.url + "/healthz", timeout=10) as fh:
+                health = json.loads(fh.read())
+            if health.get("status") != "ok":
+                failures.append(f"healthz: {health}")
+            # Differential check: one served response must equal the
+            # in-process prediction bit for bit.
+            engine = server.service.engine
+            rng = np.random.default_rng(args.seed)
+            probe = rng.uniform(0.0, 1.0, size=(4, engine.in_dim))
+            body = json.dumps({"inputs": probe.tolist()}).encode()
+            request = urllib.request.Request(
+                server.url + "/v1/predict", data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as fh:
+                served = np.asarray(json.loads(fh.read())["outputs"])
+            direct = model.system.predict(probe)
+            if not np.array_equal(served, direct):
+                failures.append("differential check: served != in-process prediction")
+            result = run_loadgen(
+                server.url, engine.in_dim, requests=40, concurrency=4,
+                samples_per_request=2, seed=args.seed,
+            )
+            if result.ok != result.requests:
+                failures.append(
+                    f"loadgen: {result.ok}/{result.requests} ok "
+                    f"({result.shed} shed, {result.errors} errors)"
+                )
+            with urllib.request.urlopen(server.url + "/metrics", timeout=10) as fh:
+                exposition = fh.read().decode()
+            openmetrics.validate(exposition)
+            for family in ("serve_requests", "serve_request_latency_seconds",
+                           "serve_queue_depth", "serve_batch_size"):
+                if family not in exposition:
+                    failures.append(f"/metrics missing the {family} family")
+        summary = {
+            "artifact": str(model.path),
+            "system": model.kind,
+            "interface": model.interface,
+            "loadgen": result.as_dict(),
+            "failures": failures,
+        }
+        print(json.dumps(summary, indent=2))
+        if failures:
+            for failure in failures:
+                print(f"serve --smoke: {failure}", file=sys.stderr)
+            return 2
+        # Archive the smoke's loadgen numbers as one kind="serve"
+        # history entry so serving throughput/latency has a trajectory
+        # (the compare gate recognizes the kind; see KNOWN_KINDS).
+        from repro.obs import history as obs_history
+
+        entry = obs_history.build_entry(
+            {f"loadgen.{k}": v for k, v in result.as_dict().items()},
+            kind="serve",
+            seed=args.seed,
+            scale=scale.name,
+            benchmark=model.meta.get("benchmark"),
+        )
+        history_file = obs_history.append_entry(entry, args.history)
+        _log.info(
+            "serve smoke archived",
+            extra={"fields": {"path": os.fspath(history_file)}},
+        )
+        return 0
+
+    from repro.serve.service import run_service
+
+    port = args.port
+    print(
+        f"serving {model.kind} model ({model.meta.get('benchmark')}) — "
+        f"POST /v1/predict, GET /metrics (Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        run_service(model, port=port)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def _run_metrics_server(args) -> int:
     """Standalone exposition endpoint + sampler for this process.
 
@@ -530,7 +669,8 @@ def main(argv=None) -> int:
         "experiment",
         choices=["fig2", "fig3", "table1", "fig4", "fig5", "bitlength",
                  "faults", "bench", "errorbudget", "compare", "report",
-                 "summary", "lint", "profile", "metrics-server", "top", "all"],
+                 "summary", "lint", "profile", "metrics-server", "top",
+                 "serve", "all"],
         help="artifact to regenerate, or a trajectory command: 'faults' runs the "
              "stuck-at fault-injection campaign (manifest always written), 'bench' "
              "runs the benchmark suite and appends to the run history, "
@@ -541,7 +681,8 @@ def main(argv=None) -> int:
              "tables, 'lint' runs the repro-lint invariant checker over the package, "
              "'profile' ranks span hot-spots from manifests/history/a fresh run, "
              "'metrics-server' serves a standalone OpenMetrics endpoint, 'top' is "
-             "the live terminal dashboard over a telemetry endpoint",
+             "the live terminal dashboard over a telemetry endpoint, 'serve' runs "
+             "the micro-batched inference service over a model artifact",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     parser.add_argument("--full", action="store_true",
@@ -644,7 +785,20 @@ def main(argv=None) -> int:
                              "the error_budget_* families (CI smoke test)")
     parser.add_argument("--port", type=int, default=None, metavar="N",
                         help="metrics-server: listen port (default: "
-                             "REPRO_TELEMETRY_PORT or 9464; 0 = ephemeral)")
+                             "REPRO_TELEMETRY_PORT or 9464; 0 = ephemeral); "
+                             "serve: listen port (default: REPRO_SERVE_PORT or "
+                             "9600; 0 = ephemeral)")
+    parser.add_argument("--artifact", default=None, metavar="PATH",
+                        help="serve: model artifact to load; when the file does "
+                             "not exist, a system is trained (--bench/--seed/"
+                             "--ensemble) and the artifact written there first")
+    parser.add_argument("--save-only", action="store_true",
+                        help="serve: build/write the model artifact and exit "
+                             "without starting the server")
+    parser.add_argument("--smoke", action="store_true",
+                        help="serve: self-test — serve on an ephemeral port, run "
+                             "a quick loadgen, validate /metrics and the "
+                             "differential check, then exit (non-zero on failure)")
     parser.add_argument("--url", default=None, metavar="URL",
                         help="top: telemetry endpoint to poll (default: "
                              "http://127.0.0.1:<REPRO_TELEMETRY_PORT>)")
@@ -697,6 +851,8 @@ def main(argv=None) -> int:
             return _run_faults(args)
         if args.experiment == "profile":
             return _run_profile(args, scale)
+        if args.experiment == "serve":
+            return _run_serve(args, scale)
 
         write_manifests = obs_trace.enabled() or args.run_dir is not None
 

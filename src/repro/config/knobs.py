@@ -342,6 +342,44 @@ register(
     "the in-parent serial fallback.",
 )
 register(
+    "REPRO_SERVE_MAX_BATCH",
+    "int",
+    "64",
+    "Serving micro-batcher: maximum total samples fused into one "
+    "`forward_trials` call. Requests are concatenated until this cap or "
+    "`REPRO_SERVE_MAX_DELAY_MS` is hit, whichever comes first.",
+)
+register(
+    "REPRO_SERVE_MAX_DELAY_MS",
+    "float",
+    "2.0",
+    "Serving micro-batcher: milliseconds to hold an open batch waiting for "
+    "more requests before dispatching it. `0` dispatches whatever is queued "
+    "immediately.",
+)
+register(
+    "REPRO_SERVE_QUEUE_LIMIT",
+    "int",
+    "256",
+    "Serving overload shed: requests queued beyond this limit are rejected "
+    "immediately (HTTP 503) instead of growing the queue without bound.",
+)
+register(
+    "REPRO_SERVE_DEADLINE_MS",
+    "float",
+    None,
+    "Serving per-request deadline in milliseconds: requests still queued "
+    "past it are failed (HTTP 504) rather than served stale. Unset = no "
+    "deadline.",
+)
+register(
+    "REPRO_SERVE_PORT",
+    "int",
+    "9600",
+    "TCP port of the inference service (`python -m repro serve`); `0` picks "
+    "a free ephemeral port.",
+)
+register(
     "REPRO_SANITIZE",
     "bool",
     "0",

@@ -39,6 +39,7 @@ REPORT_ORDER = (
     "tradeoff_kmeans",
     "bench_parallel",
     "bench_hotpath",
+    "bench_serve",
 )
 
 

@@ -71,6 +71,9 @@ LAYER_RANKS: Dict[str, int] = {
     "serialization": 60,
     "analysis": 60,
     "robustness": 60,
+    # the inference serving layer: loads serialized artifacts and
+    # feeds request streams through the deployed data path
+    "serve": 65,
     # top of the library: experiment entry points and the linter itself
     "experiments": 70,
     "lintrules": 70,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -64,7 +65,14 @@ cross-platform float drift, not algorithmic change."""
 PERF_TOLERANCE = Tolerance(rel=0.60, abs=0.05)
 """Wall-clock metrics jitter hard across hosts and CI runners."""
 
-_PERF_TOKENS = ("seconds", "speedup", "utilization", "latency", "queue_wait")
+_PERF_TOKENS = (
+    "seconds",
+    "speedup",
+    "utilization",
+    "latency",
+    "queue_wait",
+    "per_second",
+)
 _HIGHER_BETTER_TOKENS = (
     "speedup",
     "accuracy",
@@ -73,6 +81,7 @@ _HIGHER_BETTER_TOKENS = (
     "utilization",
     "improvement",
     "snr",
+    "per_second",
 )
 
 
@@ -302,6 +311,25 @@ def compare_history(
     of the same commit.
     """
     history = _history.load_history(history_path)
+    # Entries of a kind no producer registered would otherwise be
+    # skipped without a trace (a typo'd kind, or a new subsystem whose
+    # kind was never added to KNOWN_KINDS).  Warn with a count so they
+    # cannot be dropped unnoticed.  An explicitly requested --kind is
+    # honoured even when unregistered.
+    recognized = _history.KNOWN_KINDS | ({kind} if kind is not None else set())
+    unknown = [e for e in history if _history.entry_kind(e) not in recognized]
+    if unknown:
+        unknown_kinds = sorted({_history.entry_kind(e) for e in unknown})
+        warnings.warn(
+            f"compare is ignoring {len(unknown)} history "
+            f"entr{'y' if len(unknown) == 1 else 'ies'} of unknown kind "
+            f"{unknown_kinds} (known kinds: {sorted(_history.KNOWN_KINDS)}); "
+            "register new kinds in repro.obs.history.KNOWN_KINDS or select "
+            "one explicitly with --kind",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        history = [e for e in history if _history.entry_kind(e) in recognized]
     if kind is not None:
         history = _history.entries_of_kind(history, kind)
     newest = _history.latest_entry(history)

@@ -35,11 +35,13 @@ from repro.obs.runinfo import provenance_header
 __all__ = [
     "HISTORY_ENV",
     "DEFAULT_HISTORY_PATH",
+    "KNOWN_KINDS",
     "history_path",
     "append_entry",
     "load_history",
     "entries_for_sha",
     "entries_of_kind",
+    "entry_kind",
     "latest_entry",
     "aggregate_metrics",
     "build_entry",
@@ -107,15 +109,29 @@ def entries_for_sha(
     ]
 
 
-def entries_of_kind(
-    history: Sequence[Dict[str, object]], kind: str
-) -> List[Dict[str, object]]:
-    """Entries of one kind (``bench``, ``errorbudget``, ...).
+KNOWN_KINDS = frozenset({"bench", "errorbudget", "serve"})
+"""Every history-entry ``kind`` a producer in this repo writes.
+
+The compare gate warns about (and excludes) entries of any other
+kind — a new producer must register its kind here so its rows cannot
+be dropped unnoticed (see :func:`repro.obs.compare.compare_history`).
+"""
+
+
+def entry_kind(entry: Dict[str, object]) -> str:
+    """The effective kind of one entry.
 
     Seed-era entries predate the ``kind`` field; they count as
     ``bench`` so existing baselines keep resolving.
     """
-    return [e for e in history if (e.get("kind") or "bench") == kind]
+    return str(entry.get("kind") or "bench")
+
+
+def entries_of_kind(
+    history: Sequence[Dict[str, object]], kind: str
+) -> List[Dict[str, object]]:
+    """Entries of one kind (``bench``, ``errorbudget``, ...)."""
+    return [e for e in history if entry_kind(e) == kind]
 
 
 def latest_entry(

@@ -13,14 +13,22 @@ DSE, ensembling), so trained architectures need durable storage.  One
 Loading re-deploys onto fresh (ideal) crossbars; chip-instance state
 (frozen variation, calibration corrections, injected faults) is
 intentionally not persisted — it belongs to a physical array, not to
-the trained model.
+the trained model.  (The serving layer's model artifact is the
+exception: :mod:`repro.serve.artifact` persists programmed
+conductances on top of these primitives.)
+
+Every archive written here carries a content digest (BLAKE2b over the
+canonical metadata JSON plus every array's name/dtype/shape/bytes).
+Reads recompute it and refuse a mismatch with :class:`IntegrityError`;
+digest-less archives from older versions still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
-from typing import List
+from typing import Dict, List, Mapping, Tuple
 
 import numpy as np
 
@@ -31,6 +39,10 @@ from repro.cost.area import Topology
 from repro.nn.network import MLP
 
 __all__ = [
+    "IntegrityError",
+    "content_digest",
+    "read_archive",
+    "write_archive",
     "save_mlp",
     "load_mlp",
     "save_mei",
@@ -42,6 +54,30 @@ __all__ = [
 ]
 
 _FORMAT_VERSION = 1
+
+
+class IntegrityError(ValueError):
+    """An archive's content digest does not match its payload."""
+
+
+def content_digest(meta: Mapping[str, object], arrays: Mapping[str, np.ndarray]) -> str:
+    """BLAKE2b hex digest of an archive's logical content.
+
+    Covers the canonical (sorted-key) JSON of ``meta`` minus any
+    embedded ``digest`` field, then every array in name order as
+    ``name / dtype / shape / raw bytes`` — so the digest is stable
+    across save/load round-trips and independent of zip-member order.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    clean = {k: v for k, v in meta.items() if k != "digest"}
+    h.update(json.dumps(clean, sort_keys=True).encode())
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
 
 
 def _network_arrays(net: MLP) -> dict:
@@ -79,6 +115,7 @@ def _restore_network(meta: dict, data) -> MLP:
 
 def _write(path, kind: str, meta: dict, arrays: dict) -> None:
     meta = dict(meta, kind=kind, format_version=_FORMAT_VERSION)
+    meta["digest"] = content_digest(meta, arrays)
     np.savez(path, __meta__=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
              **arrays)
 
@@ -92,7 +129,29 @@ def _read(path, expected_kind: str):
         )
     if meta.get("format_version") != _FORMAT_VERSION:
         raise ValueError(f"unsupported format version {meta.get('format_version')}")
+    declared = meta.get("digest")
+    if declared is not None:
+        arrays = {name: data[name] for name in data.files if name != "__meta__"}
+        actual = content_digest(meta, arrays)
+        if actual != declared:
+            raise IntegrityError(
+                f"{path}: content digest mismatch (declared {declared}, "
+                f"recomputed {actual}) — the archive is corrupt or was "
+                "modified after writing; refusing to load it"
+            )
     return meta, data
+
+
+def write_archive(path, kind: str, meta: dict, arrays: Dict[str, np.ndarray]) -> None:
+    """Write a digest-protected archive of ``kind`` (serving-layer API)."""
+    _write(path, kind, meta, arrays)
+
+
+def read_archive(path, kind: str) -> Tuple[dict, Dict[str, np.ndarray]]:
+    """Read + digest-verify an archive of ``kind``; returns (meta, arrays)."""
+    meta, data = _read(path, kind)
+    arrays = {name: np.array(data[name]) for name in data.files if name != "__meta__"}
+    return meta, arrays
 
 
 def save_mlp(net: MLP, path) -> None:

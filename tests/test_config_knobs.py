@@ -47,6 +47,11 @@ class TestRegistry:
             "REPRO_DTYPE",
             "REPRO_ERRORBUDGET_TRIALS",
             "REPRO_SANITIZE",
+            "REPRO_SERVE_DEADLINE_MS",
+            "REPRO_SERVE_MAX_BATCH",
+            "REPRO_SERVE_MAX_DELAY_MS",
+            "REPRO_SERVE_PORT",
+            "REPRO_SERVE_QUEUE_LIMIT",
             "REPRO_SHM",
             "REPRO_TELEMETRY",
             "REPRO_TELEMETRY_PORT",

@@ -518,3 +518,57 @@ class TestMetricsReset:
         # The previous test incremented "leaky" and left it; the autouse
         # fixture in conftest must have reset the registry in between.
         assert "leaky" not in obs_metrics.snapshot()["counters"]
+
+
+class TestCompareUnknownKinds:
+    """Regression: entries of an unregistered kind used to be silently
+    skipped by the gate; now they warn with a count and are excluded."""
+
+    def _mixed_store(self, tmp_path):
+        return _write_history(
+            tmp_path / "history.jsonl",
+            [
+                _entry(SHA_A, "t1", {"x.error": 0.1}),
+                _entry(SHA_B, "t2", {"x.error": 0.1}),
+                _entry(SHA_B, "t3", {"mystery.error": 9.9}, kind="mystery"),
+                _entry(SHA_B, "t4", {"mystery.error": 9.9}, kind="mystery"),
+            ],
+        )
+
+    def test_unknown_kind_entries_warn_with_count(self, tmp_path):
+        store = self._mixed_store(tmp_path)
+        with pytest.warns(RuntimeWarning, match=r"2 history entries.*'mystery'"):
+            result = obs_compare.compare_history(
+                store, baseline_sha=SHA_A, baseline_file=None
+            )
+        # ...and are excluded: the bogus metric never reaches the gate.
+        assert result.exit_code(strict=True) == 0
+        assert "mystery.error" not in {v.name for v in result.verdicts}
+
+    def test_registered_kinds_do_not_warn(self, tmp_path, recwarn):
+        store = _write_history(
+            tmp_path / "history.jsonl",
+            [
+                _entry(SHA_A, "t1", {"x.error": 0.1}),
+                _entry(SHA_B, "t2", {"x.error": 0.1}),
+                _entry(SHA_B, "t3", {"bench_serve.rps": 100.0}, kind="serve"),
+                _entry(SHA_B, "t4", {"budget.err": 0.01}, kind="errorbudget"),
+            ],
+        )
+        obs_compare.compare_history(store, baseline_sha=SHA_A, baseline_file=None)
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+
+    def test_explicitly_requested_kind_is_honoured_unregistered(self, tmp_path, recwarn):
+        store = self._mixed_store(tmp_path)
+        result = obs_compare.compare_history(
+            store, baseline_sha=SHA_B, baseline_file=None, kind="mystery"
+        )
+        assert not [w for w in recwarn if issubclass(w.category, RuntimeWarning)]
+        assert {v.name for v in result.verdicts} == {"mystery.error"}
+
+    def test_entry_kind_defaults_seed_era_entries_to_bench(self):
+        entry = _entry(SHA_A, "t1", {"x.error": 0.1})
+        del entry["kind"]
+        assert obs_history.entry_kind(entry) == "bench"
+        assert obs_history.entry_kind({"kind": "serve"}) == "serve"
+        assert "serve" in obs_history.KNOWN_KINDS

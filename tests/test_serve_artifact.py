@@ -1,0 +1,179 @@
+"""Serving artifacts: save/load round-trips, schema and integrity.
+
+The artifact contract (``repro.serve.artifact``): a load-once archive
+that reproduces the *exact* validated system — programmed conductances
+included — and refuses loudly when tampered with, mislabelled or from
+a future schema.  Bit-faithfulness across every workload is covered by
+``tests/test_serve_differential.py``; this file owns the storage
+semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import serialization
+from repro.core.mei import MEI, MEIConfig
+from repro.core.saab import SAAB, SAABConfig
+from repro.nn.trainer import TrainConfig
+from repro.serve import (
+    ARTIFACT_KIND,
+    ARTIFACT_SCHEMA_VERSION,
+    load_artifact,
+    save_artifact,
+)
+from repro.xbar.mapping import MappingConfig
+
+TINY = MEIConfig(in_groups=2, out_groups=1, hidden=6, bits=4)
+TRAIN = TrainConfig(epochs=3, batch_size=16, learning_rate=0.02, shuffle_seed=0)
+
+
+def _unit_data(n=32, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.uniform(0.0, 1.0, (n, TINY.in_groups)),
+        rng.uniform(0.0, 1.0, (n, TINY.out_groups)),
+    )
+
+
+def _tiny_mei(seed=0, mapping_config=None):
+    x, y = _unit_data(seed=seed)
+    return MEI(TINY, mapping_config=mapping_config, seed=seed).train(x, y, TRAIN)
+
+
+def _tiny_saab(n_learners=2, seed=0):
+    x, y = _unit_data(seed=seed)
+    saab = SAAB(
+        lambda k: MEI(TINY, seed=seed + k),
+        SAABConfig(n_learners=n_learners, compare_bits=3, seed=seed),
+    )
+    saab.train(x, y, TRAIN)
+    return saab
+
+
+def _probe(n=8, seed=99):
+    return np.random.default_rng(seed).uniform(0.0, 1.0, (n, TINY.in_groups))
+
+
+class TestRoundtrip:
+    def test_mei_roundtrip_is_bit_identical(self, tmp_path):
+        mei = _tiny_mei()
+        probe = _probe()
+        expected = mei.predict_trials(probe, trials=1)[0]
+        path = save_artifact(mei, tmp_path / "mei.npz", benchmark="fft")
+        loaded = load_artifact(path)
+        assert loaded.kind == "mei"
+        assert isinstance(loaded.system, MEI)
+        assert np.array_equal(loaded.system.predict_trials(probe, trials=1)[0], expected)
+
+    def test_saab_roundtrip_is_bit_identical(self, tmp_path):
+        saab = _tiny_saab()
+        probe = _probe()
+        expected = saab.predict_trials(probe, trials=1)[0]
+        path = save_artifact(saab, tmp_path / "saab.npz")
+        loaded = load_artifact(path)
+        assert loaded.kind == "saab"
+        assert isinstance(loaded.system, SAAB)
+        assert len(loaded.system.learners) == len(saab.learners)
+        assert loaded.system.alphas == pytest.approx(saab.alphas)
+        assert [r.error for r in loaded.system.rounds] == pytest.approx(
+            [r.error for r in saab.rounds]
+        )
+        assert np.array_equal(loaded.system.predict_trials(probe, trials=1)[0], expected)
+
+    def test_mapping_config_round_trips(self, tmp_path):
+        mapping = MappingConfig(row_sum_headroom=0.8, wire_resistance=0.5)
+        mei = _tiny_mei(mapping_config=mapping)
+        probe = _probe()
+        expected = mei.predict_trials(probe, trials=1)[0]
+        loaded = load_artifact(save_artifact(mei, tmp_path / "mapped.npz"))
+        assert loaded.system.mapping_config == mapping
+        assert np.array_equal(loaded.system.predict_trials(probe, trials=1)[0], expected)
+
+    def test_programmed_conductances_persist(self, tmp_path):
+        """The artifact is the chip: drifted conductances survive the
+        round-trip instead of being re-derived from the weights."""
+        mei = _tiny_mei()
+        drifted = [np.array(g) * 1.01 for g in mei.analog.conductance_snapshot()]
+        mei.analog.restore_conductances(drifted)
+        loaded = load_artifact(save_artifact(mei, tmp_path / "drift.npz"))
+        restored = loaded.system.analog.conductance_snapshot()
+        assert all(np.array_equal(a, b) for a, b in zip(restored, drifted))
+        # A fresh deploy() re-maps from the weights — different state.
+        loaded.system.deploy()
+        redeployed = loaded.system.analog.conductance_snapshot()
+        assert not all(np.array_equal(a, b) for a, b in zip(redeployed, drifted))
+
+
+class TestSchema:
+    def test_meta_interface_and_provenance(self, tmp_path):
+        mei = _tiny_mei()
+        loaded = load_artifact(
+            save_artifact(mei, tmp_path / "m.npz", benchmark="kmeans",
+                          extra_meta={"note": "test"})
+        )
+        meta = loaded.meta
+        assert meta["schema_version"] == ARTIFACT_SCHEMA_VERSION
+        assert meta["kind"] == ARTIFACT_KIND
+        assert meta["benchmark"] == "kmeans"
+        assert meta["note"] == "test"
+        assert meta["saab"] is None
+        assert loaded.interface == {
+            "B_I": mei.in_bits, "B_O": mei.out_bits, "B_N": mei.config.bits,
+        }
+        assert isinstance(meta["digest"], str) and meta["digest"]
+        assert "git_sha" in meta["provenance"]
+        assert len(meta["members"]) == 1
+
+    def test_untrained_ensemble_refused(self, tmp_path):
+        saab = SAAB(lambda k: MEI(TINY, seed=k), SAABConfig(n_learners=2, compare_bits=3))
+        with pytest.raises(ValueError, match="untrained"):
+            save_artifact(saab, tmp_path / "nope.npz")
+
+    def test_wrong_kind_refused(self, tmp_path):
+        path = tmp_path / "other.npz"
+        serialization.write_archive(
+            path, "not-a-model", {"schema_version": 1}, {"a": np.zeros(3)}
+        )
+        with pytest.raises(ValueError, match="serve-model"):
+            load_artifact(path)
+
+    def test_future_schema_version_refused(self, tmp_path):
+        path = save_artifact(_tiny_mei(), tmp_path / "future.npz")
+        meta, arrays = serialization.read_archive(path, ARTIFACT_KIND)
+        meta["schema_version"] = ARTIFACT_SCHEMA_VERSION + 1
+        serialization.write_archive(path, ARTIFACT_KIND, meta, arrays)
+        with pytest.raises(ValueError, match="schema version"):
+            load_artifact(path)
+
+
+class TestIntegrity:
+    """Chaos: a corrupted archive must be refused loudly, not served."""
+
+    def test_tampered_payload_refused(self, tmp_path):
+        path = save_artifact(_tiny_mei(), tmp_path / "tampered.npz")
+        with np.load(path) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+        victim = next(name for name in arrays if "_g_" in name)
+        arrays[victim] = arrays[victim] + 1e-3  # silent bit-rot / tampering
+        np.savez(path, **arrays)
+        with pytest.raises(serialization.IntegrityError, match="digest mismatch"):
+            load_artifact(path)
+
+    def test_tampered_meta_refused(self, tmp_path):
+        path = save_artifact(_tiny_mei(), tmp_path / "meta.npz")
+        with np.load(path) as data:
+            arrays = {name: np.array(data[name]) for name in data.files}
+        meta = bytes(arrays["__meta__"]).decode()
+        meta = meta.replace('"system": "mei"', '"system": "xxx"')
+        arrays["__meta__"] = np.frombuffer(meta.encode(), dtype=np.uint8)
+        np.savez(path, **arrays)
+        with pytest.raises(serialization.IntegrityError):
+            load_artifact(path)
+
+    def test_digest_is_content_addressed(self, tmp_path):
+        mei = _tiny_mei()
+        a = load_artifact(save_artifact(mei, tmp_path / "a.npz"))
+        b = load_artifact(save_artifact(mei, tmp_path / "b.npz"))
+        meta_a = {k: v for k, v in a.meta.items() if k not in ("digest", "provenance")}
+        meta_b = {k: v for k, v in b.meta.items() if k not in ("digest", "provenance")}
+        assert meta_a == meta_b

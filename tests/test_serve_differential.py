@@ -1,0 +1,124 @@
+"""Differential suite: serving an artifact == serving the live system.
+
+For every registered AxBench workload, both system kinds: train a
+(tiny-budget) system on the benchmark's real topology, snapshot it
+through ``save_artifact``/``load_artifact``, and assert the restored
+system's predictions are **bit-identical** (``np.array_equal``, no
+tolerance) to the in-process system on the held-out split — through
+the raw ``predict_trials`` path, through :class:`InferenceEngine`, and
+(for one workload) over HTTP through the full service stack.
+
+Accuracy is irrelevant here — bit-faithful restoration of whatever was
+trained is the contract — so the training budgets are minimal.
+
+The ``REPRO_DTYPE=float32`` leg proves the artifact honours the
+data-path dtype end to end: arrays are stored at the deployed dtype
+and the round-trip stays bit-identical under the same dtype.
+"""
+
+import json
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import serialization
+from repro.config import dtype as cfg_dtype
+from repro.core.mei import MEI, MEIConfig
+from repro.core.saab import SAAB, SAABConfig
+from repro.nn.trainer import TrainConfig
+from repro.serve import (
+    ARTIFACT_KIND,
+    BackgroundServer,
+    InferenceEngine,
+    load_artifact,
+    save_artifact,
+)
+from repro.workloads.registry import BENCHMARK_NAMES, make_benchmark
+
+
+def _train_tiny(name, system, seed=0):
+    bench = make_benchmark(name)
+    data = bench.dataset(n_train=48, n_test=16, seed=seed)
+    topology = bench.spec.topology
+    config = MEIConfig(
+        in_groups=topology.inputs,
+        out_groups=topology.outputs,
+        hidden=4,
+        bits=topology.bits,
+    )
+    train = TrainConfig(epochs=2, batch_size=16, learning_rate=0.02, shuffle_seed=seed)
+    if system == "saab":
+        trained = SAAB(
+            lambda k: MEI(config, seed=seed + k),
+            SAABConfig(n_learners=2, compare_bits=3, seed=seed),
+        )
+        trained.train(data.x_train, data.y_train, train)
+    else:
+        trained = MEI(config, seed=seed).train(data.x_train, data.y_train, train)
+    return trained, data
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+@pytest.mark.parametrize("system", ["mei", "saab"])
+def test_artifact_serving_is_bit_identical(name, system, tmp_path):
+    trained, data = _train_tiny(name, system)
+    probe = data.x_test[:8]
+    expected = trained.predict_trials(probe, trials=1)[0]
+
+    loaded = load_artifact(
+        save_artifact(trained, tmp_path / f"{name}-{system}.npz", benchmark=name)
+    )
+    assert loaded.kind == system
+    assert np.array_equal(loaded.system.predict_trials(probe, trials=1)[0], expected)
+
+    engine = InferenceEngine(loaded.system)
+    assert engine.in_dim == probe.shape[1]
+    assert np.array_equal(engine.predict(probe), expected)
+
+
+def test_artifact_serving_over_http_is_bit_identical(tmp_path):
+    """The full stack — artifact, micro-batcher, asyncio HTTP front,
+    JSON wire format — returns the exact floats the live system does
+    (JSON float serialization is round-trip exact)."""
+    trained, data = _train_tiny("fft", "mei", seed=3)
+    probe = np.clip(data.x_test[:6], 0.0, 1.0)
+    expected = trained.predict_trials(probe, trials=1)[0]
+    model = load_artifact(save_artifact(trained, tmp_path / "fft.npz", benchmark="fft"))
+    with BackgroundServer(model, port=0) as server:
+        request = urllib.request.Request(
+            server.url + "/v1/predict",
+            data=json.dumps({"inputs": probe.tolist()}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            payload = json.loads(response.read())
+    assert payload["samples"] == probe.shape[0]
+    assert np.array_equal(np.asarray(payload["outputs"]), expected)
+
+
+class TestFloat32Leg:
+    @pytest.fixture
+    def float32(self, monkeypatch):
+        monkeypatch.setenv(cfg_dtype.DTYPE_ENV, "float32")
+        cfg_dtype.set_active_dtype("float32")
+        yield
+        cfg_dtype.set_active_dtype(None)
+
+    @pytest.mark.parametrize("system", ["mei", "saab"])
+    def test_float32_roundtrip_is_bit_identical(self, float32, system, tmp_path):
+        trained, data = _train_tiny("inversek2j", system, seed=5)
+        probe = data.x_test[:8]
+        expected = trained.predict_trials(probe, trials=1)[0]
+        path = save_artifact(trained, tmp_path / f"f32-{system}.npz")
+        loaded = load_artifact(path)
+        assert np.array_equal(loaded.system.predict_trials(probe, trials=1)[0], expected)
+
+    def test_arrays_stored_at_deployed_dtype(self, float32, tmp_path):
+        trained, _ = _train_tiny("fft", "mei", seed=5)
+        path = save_artifact(trained, tmp_path / "f32.npz")
+        _, arrays = serialization.read_archive(path, ARTIFACT_KIND)
+        conductances = {k: v for k, v in arrays.items() if "_g_" in k}
+        assert conductances
+        assert all(v.dtype == np.float32 for v in conductances.values())
